@@ -1,0 +1,50 @@
+"""Ablation A3 — control invocation period P.
+
+Section 3: "control should not be adapted at a high frequency, or the
+overhead for tuning the simulator will outweigh the benefits from the
+better configuration."  Sweeping the checkpoint controller's P on SMMP
+must show both failure modes bounded: very small P pays control overhead
+and jitter, very large P adapts too slowly; a broad middle band works.
+"""
+
+from conftest import REPLICATES, scale_or
+
+from repro.bench.figures import LC, smmp_builder
+from repro.bench.harness import SMMP_PROFILE, run_cell, scaled
+from repro.bench.tables import render_results
+from repro.core.checkpoint_controller import DynamicCheckpoint
+from repro.kernel.checkpointing import StaticCheckpoint
+
+PERIODS = (2, 8, 16, 64, 256)
+
+
+def _sweep(scale, replicates):
+    build = smmp_builder(scaled(1000, scale))
+    results = [
+        run_cell("static chi=1", 0, build, SMMP_PROFILE,
+                 replicates=replicates, cancellation=LC,
+                 checkpoint=lambda o: StaticCheckpoint(1))
+    ]
+    for period in PERIODS:
+        results.append(
+            run_cell(f"P={period}", period, build, SMMP_PROFILE,
+                     replicates=replicates, cancellation=LC,
+                     checkpoint=lambda o, p=period: DynamicCheckpoint(period=p))
+        )
+    return results
+
+
+def test_abl_control_period(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: _sweep(scale_or(0.1), REPLICATES), rounds=1, iterations=1
+    )
+    show(render_results(results, "A3 — control invocation period (SMMP)"))
+
+    static = next(r for r in results if r.label == "static chi=1")
+    periods = {r.x: r.execution_time_us for r in results if r.x > 0}
+
+    # the middle band beats no-control
+    mid = [periods[p] for p in (8, 16, 64)]
+    assert min(mid) < static.execution_time_us
+    # an extreme period adapts too slowly to fully close the gap
+    assert periods[256] > min(mid)

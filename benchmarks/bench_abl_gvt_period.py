@@ -1,0 +1,55 @@
+"""Ablation A4 — GVT period and algorithm.
+
+GVT estimation reclaims history memory but costs CPU (and, for Mattern's
+algorithm, control messages through the same network as application
+traffic).  Sweeping the period on RAID shows the trade: very frequent
+GVT pays overhead; very infrequent GVT lets history queues grow.  The
+distributed Mattern algorithm must track the omniscient estimator's
+results at a visible but bounded extra cost.
+"""
+
+from conftest import REPLICATES, scale_or
+
+from repro.bench.figures import raid_builder
+from repro.bench.harness import RAID_PROFILE, run_cell, scaled
+from repro.bench.tables import render_results
+
+PERIODS = (2_000.0, 10_000.0, 50_000.0, 400_000.0)
+
+
+def _sweep(scale, replicates):
+    build = raid_builder(scaled(1000, scale))
+    results = []
+    for period in PERIODS:
+        for algorithm in ("omniscient", "mattern"):
+            results.append(
+                run_cell(algorithm, period, build, RAID_PROFILE,
+                         replicates=replicates,
+                         stat_hook=lambda sim, stats: {
+                             "peak_state_queue": stats.peak_state_entries
+                         },
+                         gvt_algorithm=algorithm, gvt_period=period)
+            )
+    return results
+
+
+def test_abl_gvt_period(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: _sweep(scale_or(0.1), REPLICATES), rounds=1, iterations=1
+    )
+    show(render_results(results, "A4 — GVT period and algorithm (RAID)"))
+
+    omni = {r.x: r for r in results if r.label == "omniscient"}
+    matt = {r.x: r for r in results if r.label == "mattern"}
+
+    # infrequent GVT leaves much more history un-reclaimed
+    assert omni[PERIODS[-1]].extra["peak_state_queue"] > (
+        2 * omni[PERIODS[0]].extra["peak_state_queue"]
+    )
+    # Mattern's control traffic costs something but stays bounded
+    for period in PERIODS:
+        ratio = matt[period].execution_time_us / omni[period].execution_time_us
+        assert ratio < 1.5
+    # at the most aggressive period, the distributed algorithm's message
+    # cost is actually visible
+    assert matt[PERIODS[0]].physical_messages > omni[PERIODS[0]].physical_messages

@@ -1,0 +1,37 @@
+"""Figure 6 — RAID: execution time vs number of requests per strategy.
+
+Paper result: execution time grows with request count for all six
+strategies (AC, LC, DC, ST0.4, PS32, PA10); lazy beats aggressive because
+disks (which favor lazy) outnumber forks (which favor aggressive), and
+the dynamic-cancellation family performs at least on par with lazy (DC /
+ST0.4 about 1.5 % and PS32 / PA10 about 2.5 % faster in the paper).
+"""
+
+from conftest import REPLICATES, scale_or
+
+from repro.bench.figures import fig6
+from repro.bench.tables import render_series
+
+
+def test_fig6_raid_cancellation(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: fig6(scale=scale_or(0.15), replicates=REPLICATES),
+        rounds=1, iterations=1,
+    )
+    show(render_series(results, "requests",
+                       "Figure 6 — RAID: execution time vs requests"))
+
+    xs = sorted({r.x for r in results})
+    times = {(r.label, r.x): r.execution_time_us for r in results}
+
+    # execution time grows with the number of requests, for every strategy
+    for label in ("AC", "LC", "DC", "ST0.4", "PS32", "PA10"):
+        assert times[(label, xs[-1])] > times[(label, xs[0])]
+
+    # at the largest size: aggressive is the slowest static strategy and
+    # the adaptive family is competitive with lazy (within 2 %)
+    big = xs[-1]
+    assert times[("LC", big)] < times[("AC", big)]
+    for label in ("DC", "ST0.4", "PS32", "PA10"):
+        assert times[(label, big)] < times[("AC", big)] * 1.005
+        assert times[(label, big)] < times[("LC", big)] * 1.02

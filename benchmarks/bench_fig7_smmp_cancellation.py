@@ -1,0 +1,36 @@
+"""Figure 7 — SMMP: execution time vs number of test vectors per strategy.
+
+Paper result: all SMMP objects strictly favor lazy cancellation, giving
+lazy a 15 % speedup over aggressive; all dynamic variants (DC, PS64, PA)
+perform on par with lazy, PS64 slightly best among them because it stops
+monitoring after locking in.
+"""
+
+from conftest import REPLICATES, scale_or
+
+from repro.bench.figures import fig7
+from repro.bench.tables import render_series
+
+
+def test_fig7_smmp_cancellation(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: fig7(scale=scale_or(0.05), replicates=REPLICATES),
+        rounds=1, iterations=1,
+    )
+    show(render_series(results, "vectors",
+                       "Figure 7 — SMMP: execution time vs test vectors"))
+
+    xs = sorted({r.x for r in results})
+    times = {(r.label, r.x): r.execution_time_us for r in results}
+
+    for label in ("AC", "LC", "DC", "PS64", "PA10"):
+        assert times[(label, xs[-1])] > times[(label, xs[0])]
+
+    big = xs[-1]
+    # lazy clearly beats aggressive (paper: ~15 %; shape: > 3 %)
+    assert times[("LC", big)] < times[("AC", big)] * 0.97
+    # the adaptive variants land between AC and LC, much closer to LC
+    for label in ("DC", "PS64", "PA10"):
+        assert times[(label, big)] < times[("AC", big)]
+        gap_to_lc = times[(label, big)] / times[("LC", big)]
+        assert gap_to_lc < 1.08

@@ -1,0 +1,34 @@
+"""Figure 9 — RAID: DyMA execution time vs aggregate age.
+
+Same layout as Figure 8 on the RAID model: an interior FAW optimum, a
+penalty for excessive windows, and SAAW recovering from bad initial
+windows.  RAID is even more communication-bound than SMMP (every request
+crosses LPs twice), so aggregation gains are at least as large.
+"""
+
+from conftest import REPLICATES, scale_or
+
+from repro.bench.figures import fig9
+from repro.bench.tables import render_series
+
+
+def test_fig9_raid_dyma(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: fig9(scale=scale_or(0.15), replicates=REPLICATES),
+        rounds=1, iterations=1,
+    )
+    show(render_series(results, "agg age (us)",
+                       "Figure 9 — RAID: DyMA execution time vs aggregate age"))
+
+    base = next(r for r in results if r.label == "Unaggregated")
+    faw = sorted((r for r in results if r.label == "FAW"), key=lambda r: r.x)
+    saaw = sorted((r for r in results if r.label == "SAAW"), key=lambda r: r.x)
+
+    faw_times = [r.execution_time_us for r in faw]
+    best = min(faw_times)
+
+    assert best < base.execution_time_us * 0.8
+    assert faw_times[-1] > best * 1.1
+    assert saaw[-1].execution_time_us < faw[-1].execution_time_us
+    saaw_times = [r.execution_time_us for r in saaw]
+    assert (max(saaw_times) - min(saaw_times)) < (max(faw_times) - min(faw_times))

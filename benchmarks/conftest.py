@@ -1,0 +1,47 @@
+"""Shared configuration for the figure benchmarks.
+
+Every ``bench_*`` module regenerates one table/figure of the paper at a
+reduced scale (so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes), asserts the figure's qualitative *shape* — who wins, roughly by
+how much, where crossovers fall — and prints the regenerated rows.
+
+Scale can be raised for paper-sized runs::
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+#: default scales keep the full benchmark suite around a few minutes
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0"))
+REPLICATES = int(os.environ.get("REPRO_BENCH_REPLICATES", "2"))
+
+
+def scale_or(default: float) -> float:
+    return SCALE if SCALE > 0 else default
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables appear with -s or on fail."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def by_label(results):
+    out = {}
+    for r in results:
+        out.setdefault(r.label, []).append(r)
+    return out
+
+
+def mean_time(results, label):
+    cells = [r for r in results if r.label == label]
+    return sum(r.execution_time_us for r in cells) / len(cells)

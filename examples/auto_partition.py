@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Automatic model partitioning: profile, cut, run.
+
+The paper's models were hand-partitioned "to take advantage of the fast
+intra-LP communication".  For your own models you don't have to: profile
+the model sequentially, partition its communication graph, and run.
+
+This script does that for SMMP and compares three strategies against the
+hand-crafted partition — including how the choice changes which
+*cancellation* strategy wins, one of the paper's Section 5 observations.
+
+Run:  python examples/auto_partition.py [requests-per-processor]
+"""
+
+import sys
+
+from repro import (
+    Mode,
+    NetworkModel,
+    SimulationConfig,
+    StaticCancellation,
+    TimeWarpSimulation,
+)
+from repro.apps.smmp import SMMPParams, build_smmp
+from repro.partition import (
+    apply_assignment,
+    greedy_growth,
+    kernighan_lin,
+    partition_quality,
+    profile_model,
+    round_robin,
+)
+
+
+def flatten(partition):
+    return [obj for group in partition for obj in group]
+
+
+def run(partition, mode):
+    config = SimulationConfig(
+        cancellation=lambda o: StaticCancellation(mode),
+        lp_speed_factors={1: 1.2, 2: 1.4, 3: 1.7},
+        network=NetworkModel(jitter=0.4),
+    )
+    return TimeWarpSimulation(partition, config).run()
+
+
+def main() -> None:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    params = SMMPParams(requests_per_processor=requests)
+
+    print("profiling the model sequentially (30 requests/processor)...")
+    graph = profile_model(
+        flatten(build_smmp(SMMPParams(requests_per_processor=30)))
+    )
+    print(f"  {len(graph.objects)} objects, {len(graph.weights)} comm edges, "
+          f"{graph.total_weight()} events measured\n")
+
+    print(f"{'partition':<15} {'cut':>5} {'AC time':>9} {'LC time':>9} "
+          f"{'LC gain':>8} {'msgs':>7}")
+    print("-" * 58)
+    strategies = [("hand-crafted", None), ("round-robin", round_robin),
+                  ("greedy", greedy_growth), ("kernighan-lin", kernighan_lin)]
+    for name, strategy in strategies:
+        if strategy is None:
+            build = lambda: build_smmp(params)
+            cut = float("nan")
+        else:
+            assignment = strategy(graph, 4)
+            cut = partition_quality(graph, assignment)["cut_fraction"]
+            build = lambda a=assignment: apply_assignment(
+                flatten(build_smmp(params)), a, 4
+            )
+        ac = run(build(), Mode.AGGRESSIVE)
+        lc = run(build(), Mode.LAZY)
+        gain = (ac.execution_time - lc.execution_time) / ac.execution_time
+        print(f"{name:<15} {cut:>5.2f} {ac.execution_time_seconds:>8.3f}s "
+              f"{lc.execution_time_seconds:>8.3f}s {gain:>7.1%} "
+              f"{ac.physical_messages:>7}")
+
+    print("\nNote how the partition changes not just the runtime but how "
+          "much the\ncancellation strategy matters — the paper's point that "
+          "the optimal\nconfiguration is sensitive to the partitioning scheme.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Writing your own model: a car-wash queueing network.
+
+Demonstrates the full application API a downstream user touches:
+
+* :class:`~repro.SimulationObject` subclasses with dataclass states
+  (built on :class:`~repro.RecordState` so checkpoint/rollback work
+  automatically);
+* the determinism contract — all randomness derives from payloads via
+  :func:`repro.apps.token_hash`, never from global RNGs;
+* custom partitioning across modelled workstations;
+* verifying a Time Warp run against the sequential kernel.
+
+The model: car sources feed an arrival gate that dispatches to wash
+bays; each bay works through its queue and reports to a cashier.
+(The gate is arrival-order sensitive — like the paper's RAID forks — so
+dynamic cancellation keeps it aggressive while the bays go lazy.)
+
+Run:  python examples/custom_model.py
+"""
+
+from dataclasses import dataclass, field
+
+from repro import (
+    DynamicCancellation,
+    RecordState,
+    SequentialSimulation,
+    SimulationConfig,
+    SimulationObject,
+    TimeWarpSimulation,
+)
+from repro.apps import token_hash, uniform
+
+N_SOURCES = 6
+N_BAYS = 4
+CARS_PER_SOURCE = 100
+
+
+@dataclass
+class SourceState(RecordState):
+    generated: int = 0
+
+
+class CarSource(SimulationObject):
+    """Generates cars on a pre-determined schedule (open loop)."""
+
+    def __init__(self, index: int) -> None:
+        super().__init__(f"source-{index}")
+        self.index = index
+
+    def initial_state(self) -> SourceState:
+        return SourceState()
+
+    def initialize(self) -> None:
+        self.send_event(self.name, 1.0, ("tick",))
+
+    def execute_process(self, payload) -> None:
+        state: SourceState = self.state
+        car_id = self.index * CARS_PER_SOURCE + state.generated
+        state.generated += 1
+        self.send_event("gate", 1.0, ("car", car_id))
+        if state.generated < CARS_PER_SOURCE:
+            gap = uniform(token_hash(13, car_id), 3.0, 15.0)
+            self.send_event(self.name, gap, ("tick",))
+
+
+@dataclass
+class GateState(RecordState):
+    dispatched: int = 0
+
+
+class ArrivalGate(SimulationObject):
+    """Round-robin dispatcher — arrival-order sensitive, like a RAID fork."""
+
+    def initial_state(self) -> GateState:
+        return GateState()
+
+    def execute_process(self, payload) -> None:
+        state: GateState = self.state
+        bay = state.dispatched % N_BAYS
+        state.dispatched += 1
+        self.send_event(f"bay-{bay}", 2.0, payload)
+
+
+@dataclass
+class BayState(RecordState):
+    washed: int = 0
+    revenue: float = 0.0
+
+
+class WashBay(SimulationObject):
+    """Washes each car for a duration determined by the car itself."""
+
+    grain_factor = 1.5
+
+    def initial_state(self) -> BayState:
+        return BayState()
+
+    def execute_process(self, payload) -> None:
+        _, car_id = payload
+        state: BayState = self.state
+        state.washed += 1
+        duration = uniform(token_hash(17, car_id), 20.0, 60.0)
+        price = 8.0 + (car_id % 3) * 2.0
+        state.revenue += price
+        self.send_event("cashier", duration, ("paid", car_id, price))
+
+
+@dataclass
+class CashierState(RecordState):
+    cars: int = 0
+    till: float = 0.0
+
+
+class Cashier(SimulationObject):
+    def initial_state(self) -> CashierState:
+        return CashierState()
+
+    def execute_process(self, payload) -> None:
+        _, _car_id, price = payload
+        self.state.cars += 1
+        self.state.till += price
+
+
+def build_carwash():
+    """Partition: sources+gate on one workstation, bays split over two,
+    cashier on the fourth."""
+    sources = [CarSource(i) for i in range(N_SOURCES)]
+    gate = ArrivalGate("gate")
+    bays = [WashBay(f"bay-{i}") for i in range(N_BAYS)]
+    cashier = Cashier("cashier")
+    return [
+        sources + [gate],
+        bays[: N_BAYS // 2],
+        bays[N_BAYS // 2 :],
+        [cashier],
+    ]
+
+
+def main() -> None:
+    # Golden reference
+    seq = SequentialSimulation([o for g in build_carwash() for o in g],
+                               record_trace=True)
+    seq.run()
+
+    # Time Warp on a skewed cluster, with dynamic cancellation
+    config = SimulationConfig(
+        record_trace=True,
+        cancellation=lambda obj: DynamicCancellation(),
+        lp_speed_factors={1: 1.3, 2: 1.1, 3: 1.5},
+    )
+    sim = TimeWarpSimulation(build_carwash(), config)
+    stats = sim.run()
+
+    assert sim.sorted_trace() == seq.sorted_trace(), "kernel diverged!"
+
+    cashier = sim.object_named("cashier")
+    print(stats.summary())
+    print(f"cars washed: {cashier.state.cars}, till: ${cashier.state.till:,.0f}")
+    print(f"rollbacks: {stats.rollbacks}, of which the Time Warp kernel "
+          f"recovered every single one (trace verified against sequential)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""SMMP study: how each on-line controller affects the paper's
+shared-memory-multiprocessor model.
+
+Reproduces, at reduced scale, the SMMP observations of Section 8:
+every SMMP object favors lazy cancellation, dynamic check-pointing grows
+the interval away from save-every-event, and message aggregation pays
+off heavily on the modelled 10 Mb Ethernet.
+
+Run:  python examples/smmp_study.py [requests-per-processor]
+"""
+
+import sys
+
+from repro import (
+    DynamicCancellation,
+    DynamicCheckpoint,
+    FixedWindow,
+    Mode,
+    NetworkModel,
+    SimulationConfig,
+    StaticCancellation,
+    TimeWarpSimulation,
+)
+from repro.apps.smmp import SMMPParams, build_smmp
+
+#: SPARC 4/5 mix with background load (see DESIGN.md §2)
+CLUSTER = {1: 1.2, 2: 1.4, 3: 1.7}
+
+
+def run(params: SMMPParams, label: str, **kwargs) -> None:
+    config = SimulationConfig(
+        lp_speed_factors=CLUSTER, network=NetworkModel(jitter=0.4), **kwargs
+    )
+    sim = TimeWarpSimulation(build_smmp(params), config)
+    stats = sim.run()
+    print(f"{label:<28} {stats.summary()}")
+    return sim, stats
+
+
+def main() -> None:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    params = SMMPParams(requests_per_processor=requests)
+    print(f"SMMP: {params.n_processors} processors, {params.n_objects} "
+          f"simulation objects, {params.n_lps} LPs, "
+          f"{requests} requests/processor\n")
+
+    run(params, "baseline (AC, chi=1)")
+    run(params, "lazy cancellation",
+        cancellation=lambda o: StaticCancellation(Mode.LAZY))
+    sim, _ = run(params, "dynamic cancellation",
+                 cancellation=lambda o: DynamicCancellation())
+
+    # Show what the controller decided, per object class.
+    from collections import Counter
+    modes = Counter()
+    for lp in sim.lps:
+        for ctx in lp.members.values():
+            modes[(ctx.obj.name.split("-")[0], ctx.mode.value)] += 1
+    print("  -> final strategies:",
+          ", ".join(f"{cls}:{mode} x{n}" for (cls, mode), n in sorted(modes.items())))
+
+    run(params, "dynamic checkpointing",
+        cancellation=lambda o: StaticCancellation(Mode.LAZY),
+        checkpoint=lambda o: DynamicCheckpoint(period=16))
+    run(params, "aggregation (FAW 32ms)",
+        cancellation=lambda o: StaticCancellation(Mode.LAZY),
+        aggregation=lambda lp: FixedWindow(32_000.0))
+    run(params, "all three controllers",
+        cancellation=lambda o: DynamicCancellation(),
+        checkpoint=lambda o: DynamicCheckpoint(period=16),
+        aggregation=lambda lp: FixedWindow(32_000.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Shared application utilities.
+
+The determinism contract of :class:`repro.kernel.SimulationObject`
+(coast-forward re-executes events, lazy cancellation compares regenerated
+output) forbids global RNGs: all "randomness" in the bundled models is
+derived from event payloads and state counters through the counter-based
+hash below, so the same (state, event) pair always produces the same
+draws, under any kernel and any rollback history.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.simobject import SimulationObject
+
+_MASK = (1 << 64) - 1
+
+
+def token_hash(*parts: int) -> int:
+    """Deterministic 64-bit mix of integer parts (splitmix64 finalizer)."""
+    h = 0x9E3779B97F4A7C15
+    for part in parts:
+        h = (h ^ (part & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h ^= h >> 27
+    h = (h ^ (h >> 31)) * 0x94D049BB133111EB & _MASK
+    return (h ^ (h >> 33)) & _MASK
+
+
+def uniform(h: int, low: float, high: float) -> float:
+    """Map a :func:`token_hash` value to a float in [low, high)."""
+    return low + (h / 2**64) * (high - low)
+
+
+def pick(h: int, n: int) -> int:
+    """Map a :func:`token_hash` value to an index in [0, n)."""
+    return h % n
+
+
+def chance(h: int, probability: float) -> bool:
+    """Deterministic Bernoulli draw from a hash value."""
+    return (h / 2**64) < probability
+
+
+def round_robin_partition(
+    objects: Sequence[SimulationObject], n_lps: int
+) -> list[list[SimulationObject]]:
+    """Spread objects over ``n_lps`` LPs round-robin (a worst-case-ish
+    partition that maximizes inter-LP traffic; the bundled models define
+    their own locality-aware partitions instead)."""
+    if n_lps < 1:
+        raise ConfigurationError("need at least one LP")
+    partition: list[list[SimulationObject]] = [[] for _ in range(n_lps)]
+    for index, obj in enumerate(objects):
+        partition[index % n_lps].append(obj)
+    return partition

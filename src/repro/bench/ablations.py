@@ -1,0 +1,189 @@
+"""Ablation studies (DESIGN.md A1-A5): design choices the paper discusses
+but does not plot.
+
+* **checkpoint** (A1) — the static checkpoint-interval U-curve that
+  motivates dynamic adjustment, plus both dynamic transfer functions.
+* **cancellation** (A2) — DC sensitivity to filter depth and thresholds
+  (the anti-thrashing trio of Section 5).
+* **control-period** (A3) — tuning overhead vs adaptivity: "control
+  should not be adapted at a high frequency, or the overhead for tuning
+  will outweigh the benefits" (Section 3).
+* **gvt-period** (A4) — GVT frequency: memory reclamation vs overhead.
+"""
+
+from __future__ import annotations
+
+from ..core.cancellation_controller import DynamicCancellation
+from ..core.checkpoint_controller import DynamicCheckpoint, HillClimbCheckpoint
+from ..kernel.cancellation import Mode, StaticCancellation
+from ..kernel.checkpointing import StaticCheckpoint
+from .figures import LC, raid_builder, smmp_builder
+from .harness import RAID_PROFILE, SMMP_PROFILE, run_cell, scaled
+from .tables import render_results
+
+
+def ablation_checkpoint(scale: float = 0.1, replicates: int = 3) -> str:
+    """A1: exec time across static chi (the U-curve) and dynamic policies."""
+    build = smmp_builder(scaled(1000, scale))
+    results = []
+    for chi in (1, 2, 4, 8, 16, 32, 64, 128):
+        results.append(
+            run_cell(f"static chi={chi}", chi, build, SMMP_PROFILE,
+                     replicates=replicates, cancellation=LC,
+                     checkpoint=lambda o, c=chi: StaticCheckpoint(c))
+        )
+    for name, policy in (
+        ("paper heuristic", lambda o: DynamicCheckpoint(period=16)),
+        ("hill climb", lambda o: HillClimbCheckpoint(period=16)),
+    ):
+        results.append(
+            run_cell(f"dynamic ({name})", 0, build, SMMP_PROFILE,
+                     replicates=replicates, cancellation=LC, checkpoint=policy)
+        )
+    return render_results(
+        results,
+        "A1 — Checkpoint interval: static U-curve vs dynamic controllers (SMMP)",
+    )
+
+
+def ablation_cancellation(scale: float = 0.15, replicates: int = 3) -> str:
+    """A2: DC parameter sensitivity on RAID."""
+    build = raid_builder(scaled(1000, scale))
+    results = [
+        run_cell("AC", 0, build, RAID_PROFILE, replicates=replicates,
+                 cancellation=lambda o: StaticCancellation(Mode.AGGRESSIVE)),
+        run_cell("LC", 0, build, RAID_PROFILE, replicates=replicates,
+                 cancellation=lambda o: StaticCancellation(Mode.LAZY)),
+    ]
+    for depth in (4, 16, 64):
+        results.append(
+            run_cell(f"DC fd={depth}", depth, build, RAID_PROFILE,
+                     replicates=replicates,
+                     cancellation=lambda o, d=depth: DynamicCancellation(
+                         filter_depth=d, period=8))
+        )
+    for a2l, l2a in ((0.3, 0.1), (0.45, 0.2), (0.6, 0.4), (0.4, 0.4)):
+        results.append(
+            run_cell(f"DC {a2l}/{l2a}", a2l, build, RAID_PROFILE,
+                     replicates=replicates,
+                     cancellation=lambda o, a=a2l, l=l2a: DynamicCancellation(
+                         filter_depth=16, a2l_threshold=a, l2a_threshold=l,
+                         period=8))
+        )
+    return render_results(
+        results, "A2 — Dynamic cancellation parameter sensitivity (RAID)"
+    )
+
+
+def ablation_control_period(scale: float = 0.1, replicates: int = 3) -> str:
+    """A3: checkpoint-controller invocation period P."""
+    build = smmp_builder(scaled(1000, scale))
+    results = []
+    for period in (2, 4, 8, 16, 32, 64, 128):
+        results.append(
+            run_cell(f"P={period}", period, build, SMMP_PROFILE,
+                     replicates=replicates, cancellation=LC,
+                     checkpoint=lambda o, p=period: DynamicCheckpoint(period=p))
+        )
+    return render_results(
+        results,
+        "A3 — Control invocation period: tuning overhead vs adaptivity (SMMP)",
+    )
+
+
+def ablation_gvt_period(scale: float = 0.15, replicates: int = 3) -> str:
+    """A4: GVT period; also contrasts the two GVT algorithms."""
+    build = raid_builder(scaled(1000, scale))
+    results = []
+    for period in (5_000.0, 20_000.0, 50_000.0, 200_000.0):
+        for algorithm in ("omniscient", "mattern"):
+            profile = RAID_PROFILE
+            results.append(
+                run_cell(f"{algorithm}", period, build,
+                         profile, replicates=replicates,
+                         gvt_algorithm=algorithm,
+                         gvt_period=period)
+            )
+    return render_results(
+        results, "A4 — GVT period and algorithm (RAID)"
+    )
+
+
+def ablation_time_window(scale: float = 0.1, replicates: int = 3) -> str:
+    """A5: optimism throttling — static window sweep vs adaptive."""
+    from ..apps.phold import PHOLDParams, build_phold
+    from ..core.window_controller import AdaptiveTimeWindow, StaticTimeWindow
+    from .harness import ExperimentProfile
+
+    profile = ExperimentProfile(
+        "phold-skewed", speed_factors={1: 1.4, 2: 1.8, 3: 2.4}, jitter=0.4,
+        gvt_period=20_000.0,
+    )
+    params = PHOLDParams(n_objects=16, n_lps=4, jobs_per_object=4)
+    build = lambda: build_phold(params)
+    horizon = 6_000.0 * scale / 0.1
+    results = [
+        run_cell("unbounded", 0, build, profile, replicates=replicates,
+                 end_time=horizon)
+    ]
+    for window in (50.0, 200.0, 1_000.0, 5_000.0):
+        results.append(
+            run_cell(f"static W={window:g}", window, build, profile,
+                     replicates=replicates, end_time=horizon,
+                     time_window=lambda w=window: StaticTimeWindow(w))
+        )
+    results.append(
+        run_cell("adaptive", 0, build, profile, replicates=replicates,
+                 end_time=horizon,
+                 time_window=lambda: AdaptiveTimeWindow(min_window=20.0))
+    )
+    return render_results(
+        results, "A5 — bounded time windows (PHOLD, skewed NOW)"
+    )
+
+
+def ablation_partitioning(scale: float = 0.1, replicates: int = 3) -> str:
+    """A6: partitioning strategies x cancellation on SMMP."""
+    from ..apps.smmp import SMMPParams, build_smmp
+    from ..partition import (
+        apply_assignment,
+        greedy_growth,
+        kernighan_lin,
+        profile_model,
+        round_robin,
+    )
+
+    params = SMMPParams(requests_per_processor=scaled(1000, scale))
+    flat = lambda: [o for g in build_smmp(params) for o in g]
+    graph = profile_model(
+        [o for g in build_smmp(SMMPParams(requests_per_processor=30))
+         for o in g]
+    )
+    results = []
+    cases = [("hand-crafted", None), ("round-robin", round_robin),
+             ("greedy", greedy_growth), ("kernighan-lin", kernighan_lin)]
+    for name, strategy in cases:
+        if strategy is None:
+            build = lambda: build_smmp(params)
+        else:
+            assignment = strategy(graph, 4)
+            build = lambda a=assignment: apply_assignment(flat(), a, 4)
+        for mode_name, mode in (("AC", Mode.AGGRESSIVE), ("LC", Mode.LAZY)):
+            results.append(
+                run_cell(f"{name}/{mode_name}", 0, build, SMMP_PROFILE,
+                         replicates=replicates,
+                         cancellation=lambda o, m=mode: StaticCancellation(m))
+            )
+    return render_results(
+        results, "A6 — partitioning strategies x cancellation (SMMP)"
+    )
+
+
+ABLATIONS = {
+    "checkpoint": ablation_checkpoint,
+    "cancellation": ablation_cancellation,
+    "control-period": ablation_control_period,
+    "gvt-period": ablation_gvt_period,
+    "time-window": ablation_time_window,
+    "partitioning": ablation_partitioning,
+}

@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Examples::
+
+    repro-bench --fig 5                 # quick, scaled-down
+    repro-bench --fig 8 --scale 0.3     # closer to paper size
+    repro-bench --fig 6 --full          # the paper's workload sizes
+    repro-bench --all                   # every figure, quick scale
+    repro-bench --ablation checkpoint   # ablation studies (DESIGN.md A1-A4)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from . import ablations
+from .figures import FIGURES
+from .tables import render_fig5, render_results, render_series
+
+_SERIES_META = {
+    "6": ("requests", "Figure 6 — RAID: execution time vs number of requests"),
+    "7": ("vectors", "Figure 7 — SMMP: execution time vs number of test vectors"),
+    "8": ("agg age (us)", "Figure 8 — SMMP: DyMA execution time vs aggregate age"),
+    "9": ("agg age (us)", "Figure 9 — RAID: DyMA execution time vs aggregate age"),
+}
+
+
+def render(fig: str, results) -> str:
+    if fig == "5":
+        return render_fig5(results)
+    if fig in _SERIES_META:
+        xlabel, title = _SERIES_META[fig]
+        return render_series(results, xlabel, title)
+    return render_results(results, f"Experiment {fig}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of 'On-line Configuration of a "
+                    "Time Warp Parallel Discrete Event Simulator' (ICPP 98).",
+    )
+    parser.add_argument("--fig", choices=sorted(FIGURES),
+                        help="figure to regenerate (5..9 or 'baseline')")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every figure")
+    parser.add_argument("--ablation", choices=sorted(ablations.ABLATIONS),
+                        help="run an ablation study instead of a figure")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (1.0 = paper size; default: "
+                             "per-figure quick scale)")
+    parser.add_argument("--full", action="store_true",
+                        help="shorthand for --scale 1.0 (paper-sized; slow)")
+    parser.add_argument("--replicates", type=int, default=3,
+                        help="seeded replicates per cell (paper used 5)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump raw results as JSON (figures only)")
+    args = parser.parse_args(argv)
+
+    if not (args.fig or args.all or args.ablation):
+        parser.error("choose --fig N, --all, or --ablation NAME")
+
+    kwargs: dict = {"replicates": args.replicates}
+    if args.full:
+        kwargs["scale"] = 1.0
+    elif args.scale is not None:
+        kwargs["scale"] = args.scale
+
+    if args.ablation:
+        start = time.perf_counter()
+        text = ablations.ABLATIONS[args.ablation](**kwargs)
+        print(text)
+        print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    figures = sorted(FIGURES) if args.all else [args.fig]
+    dump: dict[str, list[dict]] = {}
+    for fig in figures:
+        start = time.perf_counter()
+        results = FIGURES[fig](**kwargs)
+        print(render(fig, results))
+        print(f"\n[{time.perf_counter() - start:.1f}s wall]\n")
+        dump[fig] = [dataclasses.asdict(r) for r in results]
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(dump, fh, indent=2, default=str)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

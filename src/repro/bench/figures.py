@@ -1,0 +1,231 @@
+"""Per-figure experiment definitions (one function per paper figure).
+
+Every function regenerates the rows/series of one figure of the paper's
+evaluation section at a configurable scale (``scale=1.0`` is the paper's
+workload size; the default is scaled down so the whole set runs in
+minutes on a laptop).  Functions return lists of
+:class:`~repro.bench.harness.RunResult` so the CLI, the pytest
+benchmarks and EXPERIMENTS.md all consume the same data.
+
+| function | paper figure | result |
+|----------|--------------|--------|
+| fig5     | Figure 5     | normalized performance of checkpointing configs |
+| fig6     | Figure 6     | RAID exec time vs #requests across cancellation |
+| fig7     | Figure 7     | SMMP exec time vs #test vectors across cancellation |
+| fig8     | Figure 8     | SMMP exec time vs aggregate age (FAW/SAAW/none) |
+| fig9     | Figure 9     | RAID exec time vs aggregate age (FAW/SAAW/none) |
+| baseline_rates | Section 8 text | committed events/s of the all-static bases |
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..apps.raid import RAIDParams, build_raid
+from ..apps.smmp import SMMPParams, build_smmp
+from ..comm.aggregation import FixedWindow, NoAggregation
+from ..core.aggregation_controller import SAAWPolicy
+from ..core.cancellation_controller import (
+    DynamicCancellation,
+    PermanentAggressive,
+    PermanentSet,
+    single_threshold,
+)
+from ..core.checkpoint_controller import DynamicCheckpoint
+from ..kernel.cancellation import Mode, StaticCancellation
+from ..kernel.checkpointing import StaticCheckpoint
+from .harness import RAID_PROFILE, SMMP_PROFILE, RunResult, run_cell, scaled
+
+# --------------------------------------------------------------------- #
+# canonical strategy factories (paper parameterizations)
+# --------------------------------------------------------------------- #
+def AC(_obj):
+    return StaticCancellation(Mode.AGGRESSIVE)
+
+
+def LC(_obj):
+    return StaticCancellation(Mode.LAZY)
+
+
+def DC(_obj):
+    """Paper Fig 6: filter depth 16, A2L = 0.45, L2A = 0.2."""
+    return DynamicCancellation(filter_depth=16, a2l_threshold=0.45,
+                               l2a_threshold=0.2, period=8)
+
+
+def ST04(_obj):
+    """Paper Fig 6: single threshold at 0.4."""
+    return single_threshold(0.4, filter_depth=16, period=8)
+
+
+def PS32(_obj):
+    return PermanentSet(filter_depth=16, a2l_threshold=0.45,
+                        l2a_threshold=0.2, period=8, lock_after=32)
+
+
+def PS64(_obj):
+    return PermanentSet(filter_depth=16, a2l_threshold=0.45,
+                        l2a_threshold=0.2, period=8, lock_after=64)
+
+
+def PA10(_obj):
+    return PermanentAggressive(filter_depth=16, a2l_threshold=0.45,
+                               l2a_threshold=0.2, period=8, miss_streak=10)
+
+
+def dynamic_checkpoint(_obj):
+    return DynamicCheckpoint(period=16)
+
+
+# --------------------------------------------------------------------- #
+# builders
+# --------------------------------------------------------------------- #
+def smmp_builder(requests: int) -> Callable:
+    params = SMMPParams(requests_per_processor=requests)
+    return lambda: build_smmp(params)
+
+
+def raid_builder(requests: int) -> Callable:
+    params = RAIDParams(requests_per_source=requests)
+    return lambda: build_raid(params)
+
+
+# --------------------------------------------------------------------- #
+# Figure 5: dynamic check-pointing (normalized performance)
+# --------------------------------------------------------------------- #
+def fig5(scale: float = 0.15, replicates: int = 3) -> list[RunResult]:
+    """Normalized performance of {PC+AC, PC+LC, DynCkpt+LC} on RAID and
+    SMMP.  The all-static case (periodic chi=1 + aggressive) is 1.0."""
+    results: list[RunResult] = []
+    cases = [
+        ("PC+AC", lambda o: StaticCheckpoint(1), AC),
+        ("PC+LC", lambda o: StaticCheckpoint(1), LC),
+        ("DYN+LC", dynamic_checkpoint, LC),
+    ]
+    for app, build, profile in [
+        ("RAID", raid_builder(scaled(1000, scale)), RAID_PROFILE),
+        ("SMMP", smmp_builder(scaled(1000, scale)), SMMP_PROFILE),
+    ]:
+        for name, ckpt, cancel in cases:
+            results.append(
+                run_cell(
+                    f"{app}/{name}", 0.0, build, profile,
+                    replicates=replicates,
+                    checkpoint=ckpt, cancellation=cancel,
+                )
+            )
+    # annotate normalized performance relative to each app's PC+AC
+    base = {r.label.split("/")[0]: r.execution_time_us
+            for r in results if r.label.endswith("PC+AC")}
+    for r in results:
+        r.extra["normalized"] = base[r.label.split("/")[0]] / r.execution_time_us
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Figure 6: RAID execution time vs #requests across cancellation
+# --------------------------------------------------------------------- #
+def fig6(scale: float = 0.15, replicates: int = 3) -> list[RunResult]:
+    """Paper x-axis: 500 and 1000 requests per source."""
+    strategies = [
+        ("AC", AC), ("LC", LC), ("DC", DC),
+        ("ST0.4", ST04), ("PS32", PS32), ("PA10", PA10),
+    ]
+    results = []
+    for requests in (scaled(500, scale), scaled(1000, scale)):
+        for name, cancel in strategies:
+            results.append(
+                run_cell(
+                    name, requests, raid_builder(requests), RAID_PROFILE,
+                    replicates=replicates, cancellation=cancel,
+                )
+            )
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: SMMP execution time vs #test vectors across cancellation
+# --------------------------------------------------------------------- #
+def fig7(scale: float = 0.05, replicates: int = 3) -> list[RunResult]:
+    """Paper x-axis: 2000, 5000, 10000 test vectors per processor."""
+    strategies = [
+        ("AC", AC), ("LC", LC), ("DC", DC), ("PS64", PS64), ("PA10", PA10),
+    ]
+    results = []
+    for vectors in (scaled(2000, scale), scaled(5000, scale),
+                    scaled(10000, scale)):
+        for name, cancel in strategies:
+            results.append(
+                run_cell(
+                    name, vectors, smmp_builder(vectors), SMMP_PROFILE,
+                    replicates=replicates, cancellation=cancel,
+                )
+            )
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Figures 8 / 9: DyMA — execution time vs aggregate age
+# --------------------------------------------------------------------- #
+#: aggregate ages swept, in wall-clock µs (the paper's log-scale x axis)
+DYMA_AGES = (500.0, 2_000.0, 8_000.0, 32_000.0, 128_000.0)
+
+
+def _dyma(build, profile, ages, replicates, cancellation) -> list[RunResult]:
+    results = [
+        run_cell("Unaggregated", 0.0, build, profile,
+                 replicates=replicates, cancellation=cancellation,
+                 aggregation=lambda lp: NoAggregation())
+    ]
+    for age in ages:
+        results.append(
+            run_cell("FAW", age, build, profile, replicates=replicates,
+                     cancellation=cancellation,
+                     aggregation=lambda lp, a=age: FixedWindow(a))
+        )
+    for age in ages:
+        results.append(
+            run_cell("SAAW", age, build, profile, replicates=replicates,
+                     cancellation=cancellation,
+                     aggregation=lambda lp, a=age: SAAWPolicy(
+                         initial_window_us=a))
+        )
+    return results
+
+
+def fig8(scale: float = 0.1, replicates: int = 3,
+         ages=DYMA_AGES) -> list[RunResult]:
+    """SMMP: execution time vs aggregate age for FAW, SAAW, unaggregated."""
+    return _dyma(smmp_builder(scaled(2000, scale)), SMMP_PROFILE, ages,
+                 replicates, LC)
+
+
+def fig9(scale: float = 0.2, replicates: int = 3,
+         ages=DYMA_AGES) -> list[RunResult]:
+    """RAID: execution time vs aggregate age for FAW, SAAW, unaggregated."""
+    return _dyma(raid_builder(scaled(1000, scale)), RAID_PROFILE, ages,
+                 replicates, LC)
+
+
+# --------------------------------------------------------------------- #
+# Section 8 text: baseline committed-event rates
+# --------------------------------------------------------------------- #
+def baseline_rates(scale: float = 0.15, replicates: int = 3) -> list[RunResult]:
+    """The all-static baselines the paper normalizes against: SMMP
+    processed 11,300 committed events/s, RAID 10,917."""
+    return [
+        run_cell("SMMP baseline", 0.0, smmp_builder(scaled(1000, scale)),
+                 SMMP_PROFILE, replicates=replicates),
+        run_cell("RAID baseline", 0.0, raid_builder(scaled(1000, scale)),
+                 RAID_PROFILE, replicates=replicates),
+    ]
+
+
+FIGURES: dict[str, Callable[..., list[RunResult]]] = {
+    "5": fig5,
+    "6": fig6,
+    "7": fig7,
+    "8": fig8,
+    "9": fig9,
+    "baseline": baseline_rates,
+}

@@ -1,0 +1,84 @@
+"""ASCII rendering of experiment results (the "rows the paper reports")."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from .harness import RunResult
+
+
+def render_results(results: Sequence[RunResult], title: str = "") -> str:
+    """Generic result table: one row per (label, x) cell."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = (
+        f"{'config':<16} {'x':>8} {'time (s)':>10} {'+/-':>7} "
+        f"{'ev/s':>10} {'rollbacks':>10} {'msgs':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in results:
+        lines.append(
+            f"{r.label:<16} {r.x:>8g} {r.execution_time_s:>10.3f} "
+            f"{r.stddev_us / 1e6:>7.3f} {r.committed_per_second:>10,.0f} "
+            f"{r.rollbacks:>10.0f} {r.physical_messages:>8.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig5(results: Sequence[RunResult]) -> str:
+    """Figure 5 layout: normalized performance per app and configuration."""
+    lines = [
+        "Figure 5 — Dynamic Check-pointing (normalized performance,",
+        "           1.0 = periodic chi=1 + aggressive cancellation)",
+        "",
+        f"{'app':<6} {'configuration':<10} {'normalized':>11} {'time (s)':>10} {'ev/s':>10}",
+        "-" * 52,
+    ]
+    for r in results:
+        app, name = r.label.split("/")
+        lines.append(
+            f"{app:<6} {name:<10} {r.extra['normalized']:>11.3f} "
+            f"{r.execution_time_s:>10.3f} {r.committed_per_second:>10,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(results: Sequence[RunResult], xlabel: str,
+                  title: str) -> str:
+    """Figure 6/7/8/9 layout: series (one column per label) over x."""
+    by_label: dict[str, dict[float, RunResult]] = defaultdict(dict)
+    for r in results:
+        by_label[r.label][r.x] = r
+
+    lines = [title, "=" * len(title), ""]
+
+    # Series measured at a single x are horizontals (e.g. "Unaggregated"):
+    # print them as reference lines above the matrix.
+    constants = {label: cells for label, cells in by_label.items()
+                 if len(cells) == 1}
+    swept = {label: cells for label, cells in by_label.items()
+             if len(cells) > 1}
+    for label, cells in constants.items():
+        cell = next(iter(cells.values()))
+        lines.append(f"{label}: {cell.execution_time_s:.3f} s (constant)")
+    if constants:
+        lines.append("")
+
+    xs = sorted({x for cells in swept.values() for x in cells})
+    labels = list(swept)
+    head = f"{xlabel:>12} | " + " ".join(f"{label:>12}" for label in labels)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for x in xs:
+        row = [f"{x:>12g} | "]
+        for label in labels:
+            cell = swept[label].get(x)
+            row.append(f"{cell.execution_time_s:>12.3f}" if cell else " " * 12)
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append("(cell values: modelled execution time in seconds)")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Modelled network-of-workstations: cost model and co-simulation executive."""
+
+from .costmodel import DEFAULT_COSTS, DEFAULT_NETWORK, CostModel, NetworkModel
+from .executive import Executive
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "DEFAULT_NETWORK", "Executive", "NetworkModel"]

@@ -1,0 +1,162 @@
+"""Modelled CPU and communication costs for the simulated NOW.
+
+The paper measured wall-clock execution time on SUN SPARC 4/5 workstations
+connected by 10 Mb Ethernet.  We reproduce the *shape* of those results by
+charging modelled CPU time (in microseconds) for every kernel action; the
+executive orders LP execution by the resulting wall clock.  What matters
+for reproduction is the **ratios** between costs:
+
+* per-physical-message overhead (~1 ms in 1998 UDP stacks) dwarfs event
+  granularity (tens of µs) — this is why message aggregation buys ~30 %;
+* state saving cost grows with state size, while coast-forward cost grows
+  with the checkpoint interval — their sum is the ``Ec`` index the dynamic
+  checkpointing controller minimizes;
+* lazy-cancellation comparison cost is small but non-zero — this is why
+  the PS/PA variants (which stop monitoring) edge out plain DC by ~1 %.
+
+All costs are plain floats in modelled microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Cost parameters of one modelled workstation class.
+
+    The defaults are calibrated (see DESIGN.md §8 and EXPERIMENTS.md) so
+    that the baseline configuration commits events at roughly the rate the
+    paper reports (~11 k committed events/s).
+    """
+
+    #: CPU time to execute one application event, excluding sends.  The
+    #: application may scale this per object class via ``grain_factor``.
+    event_cost: float = 50.0
+
+    #: Fixed part of saving one state snapshot.
+    state_save_base: float = 12.0
+
+    #: Per-byte part of saving one state snapshot.
+    state_save_per_byte: float = 0.04
+
+    #: Fixed dispatch cost of a rollback (queue surgery, bookkeeping).
+    rollback_base: float = 40.0
+
+    #: Restoring a snapshot costs like copying it back.
+    state_restore_base: float = 8.0
+    state_restore_per_byte: float = 0.03
+
+    #: Re-executing one event during coast-forward.  Slightly cheaper than
+    #: a regular event because sends are suppressed.
+    coast_event_factor: float = 0.9
+
+    #: CPU time to hand one physical message to the network (send system
+    #: call + protocol stack).  Charged once per physical message, which
+    #: is what aggregation amortizes.
+    msg_send_overhead: float = 800.0
+
+    #: Per-byte CPU copy cost on the send side.
+    msg_send_per_byte: float = 0.05
+
+    #: CPU time to receive one physical message.
+    msg_recv_overhead: float = 400.0
+
+    #: Per-byte CPU copy cost on the receive side.
+    msg_recv_per_byte: float = 0.05
+
+    #: Handling one application event out of an arrived physical message
+    #: (unbundling, enqueue).
+    event_handle_cost: float = 6.0
+
+    #: One lazy / lazy-aggressive output comparison.
+    lazy_compare_cost: float = 3.0
+
+    #: Delivering an event between two objects of the *same* LP (shared
+    #: memory, no protocol stack).
+    intra_send_cost: float = 2.0
+
+    #: Sending one anti-message into the comm layer (the physical-message
+    #: costs are charged separately when it leaves the LP).
+    anti_send_cost: float = 4.0
+
+    #: One invocation of a feedback-control transfer function.
+    control_invocation_cost: float = 25.0
+
+    #: Participating in one GVT round (estimation bookkeeping).
+    gvt_participation_cost: float = 60.0
+
+    #: Fossil-collecting one history item (event / state / output record).
+    fossil_item_cost: float = 0.15
+
+    # ------------------------------------------------------------------ #
+    # derived charges
+    # ------------------------------------------------------------------ #
+    def event_execution(self, grain_factor: float = 1.0) -> float:
+        return self.event_cost * grain_factor
+
+    def coast_forward_event(self, grain_factor: float = 1.0) -> float:
+        return self.event_cost * grain_factor * self.coast_event_factor
+
+    def state_save(self, size_bytes: int) -> float:
+        return self.state_save_base + self.state_save_per_byte * size_bytes
+
+    def state_restore(self, size_bytes: int) -> float:
+        return self.state_restore_base + self.state_restore_per_byte * size_bytes
+
+    def physical_send(self, size_bytes: int) -> float:
+        return self.msg_send_overhead + self.msg_send_per_byte * size_bytes
+
+    def physical_recv(self, size_bytes: int) -> float:
+        return self.msg_recv_overhead + self.msg_recv_per_byte * size_bytes
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly slower (> 1) or faster (< 1) workstation."""
+        return replace(
+            self,
+            **{
+                f.name: getattr(self, f.name) * factor
+                for f in self.__dataclass_fields__.values()  # type: ignore[attr-defined]
+                if f.name != "coast_event_factor"
+            },
+        )
+
+
+# Re-export a conventional default so call sites read well.
+DEFAULT_COSTS = CostModel()
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Latency/bandwidth model of the shared 10 Mb Ethernet segment.
+
+    ``delivery_latency`` returns the wire+stack latency from send
+    completion to arrival at the destination LP.  Per-channel FIFO is
+    enforced by the transport layer, not here.
+    """
+
+    #: Fixed one-way latency (propagation + interrupt + kernel wakeup).
+    base_latency: float = 500.0
+
+    #: Transmission time per byte.  10 Mb/s == 1.25 MB/s == 0.8 µs/byte.
+    per_byte: float = 0.8
+
+    #: Deterministic "background load" jitter amplitude (fraction of the
+    #: message latency).  The paper ran on a non-dedicated NOW; setting
+    #: this non-zero reproduces that with a seeded hash, keeping runs
+    #: deterministic.
+    jitter: float = 0.0
+
+    #: Seed mixed into the jitter hash.  Replicate runs (the paper took
+    #: five measurements and averaged) vary only this.
+    seed: int = 0
+
+    def delivery_latency(self, size_bytes: int, jitter_unit: float = 0.0) -> float:
+        latency = self.base_latency + self.per_byte * size_bytes
+        if self.jitter:
+            latency *= 1.0 + self.jitter * jitter_unit
+        return latency
+
+
+DEFAULT_NETWORK = NetworkModel()

@@ -1,0 +1,290 @@
+"""The cluster executive: co-simulation of LPs on a modelled NOW.
+
+The executive owns the wall clock.  It interleaves the logical processes
+of a Time Warp simulation exactly as a network of workstations would:
+each LP advances its own wall clock as it burns modelled CPU, physical
+messages arrive at network-determined wall-clock times, aggregation
+windows expire by wall clock, and GVT rounds fire periodically.  The
+priority queue over wall-clock times makes the interleaving — and hence
+every rollback — deterministic for a given configuration.
+
+This is the substitution for the paper's physical testbed (DESIGN.md §2):
+the Time Warp mechanics are executed for real; only the *passage of time*
+is modelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING
+
+from ..comm.message import MessageKind, PhysicalMessage
+from ..comm.network import Network
+from ..gvt.manager import GVTAlgorithm
+from ..kernel.errors import TerminationError
+from ..kernel.lp import LogicalProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.config import SimulationConfig
+
+_DELIVER = 0
+_TURN = 1
+_FLUSH = 2
+_GVT_TICK = 3
+_EXTERNAL = 4
+
+
+class Executive:
+    """Wall-clock scheduler for a set of LPs, a network and a GVT manager."""
+
+    def __init__(self, lps: list[LogicalProcess], config: "SimulationConfig") -> None:
+        self.lps = lps
+        self.config = config
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self.network = Network(config.network, self._schedule_delivery)
+        self.gvt_algorithm: GVTAlgorithm = None  # type: ignore[assignment]
+        self.gvt_history: list[tuple[float, float]] = []
+        self._pending_deliveries = 0
+        self._pending_data = 0
+        self._executed_events = 0
+        # optional optimism throttling (bounded time windows)
+        self.window_policy = (
+            config.time_window() if config.time_window is not None else None
+        )
+        self._window_width = (
+            self.window_policy.initial_window() if self.window_policy else None
+        )
+        self._last_window_executed = 0
+        self._last_window_rolled = 0
+        self._turn_scheduled = [False] * len(lps)
+        self._gvt_tick_scheduled = False
+        self.wallclock = 0.0
+        self.terminated = False
+
+        for lp in lps:
+            lp.schedule_flush = self._make_flush_scheduler(lp)  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+    def _push(self, when: float, kind: int, data: object) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), kind, data))
+
+    def _schedule_delivery(
+        self, dst_lp: int, arrival: float, message: PhysicalMessage
+    ) -> None:
+        self._pending_deliveries += 1
+        if message.kind is MessageKind.DATA:
+            self._pending_data += 1
+        self._push(arrival, _DELIVER, message)
+
+    def _make_flush_scheduler(self, lp: LogicalProcess):
+        def schedule_flush(dst_lp: int, at: float, generation: int) -> None:
+            self._push(at, _FLUSH, (lp.lp_id, dst_lp, generation))
+
+        return schedule_flush
+
+    def _schedule_turn(self, lp: LogicalProcess, at: float) -> None:
+        if not self._turn_scheduled[lp.lp_id]:
+            self._turn_scheduled[lp.lp_id] = True
+            self._push(max(at, lp.clock), _TURN, lp.lp_id)
+
+    def _schedule_gvt_tick(self, at: float) -> None:
+        if not self._gvt_tick_scheduled:
+            self._gvt_tick_scheduled = True
+            self._push(at, _GVT_TICK, None)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Initialize LPs and prime the schedule."""
+        for lp in self.lps:
+            lp.initialize()
+        if self._window_width is not None:
+            for lp in self.lps:
+                lp.optimism_bound = self._window_width  # anchored at GVT 0
+        for lp in self.lps:
+            self._schedule_turn(lp, lp.clock)
+        self._schedule_gvt_tick(self.config.gvt_period)
+        for when, adjustment in self.config.external_script:
+            self._push(when, _EXTERNAL, adjustment)
+
+    def resume(self) -> None:
+        """Re-arm the schedule after a quiescent pause (phased execution):
+        wake every LP that has work under the (possibly raised) horizon
+        and restart the GVT heartbeat."""
+        self.terminated = False
+        for lp in self.lps:
+            if lp.has_work():
+                self._schedule_turn(lp, lp.clock)
+        self._schedule_gvt_tick(self.wallclock + self.config.gvt_period)
+
+    def on_new_gvt(self, estimate: float) -> None:
+        self.gvt_history.append((self.wallclock, estimate))
+        if self.window_policy is not None:
+            self._run_window_control(estimate)
+        if self.config.timeline is not None:
+            self.config.timeline.record(self)
+
+    def _run_window_control(self, gvt: float) -> None:
+        """Extension: adapt and re-anchor the optimism window at each GVT."""
+        from ..core.window_controller import WindowObservation
+
+        executed = self._executed_events
+        rolled = sum(
+            ctx.stats.events_rolled_back
+            for lp in self.lps for ctx in lp.members.values()
+        )
+        observation = WindowObservation(
+            executed=executed - self._last_window_executed,
+            rolled_back=rolled - self._last_window_rolled,
+        )
+        self._last_window_executed = executed
+        self._last_window_rolled = rolled
+        self._window_width = self.window_policy.control(observation)
+        bound = gvt + self._window_width
+        for lp in self.lps:
+            lp.charge(lp.costs.control_invocation_cost)
+            lp.optimism_bound = bound
+            # a wider (or re-anchored) window can unblock an idle LP
+            if lp.has_work():
+                self._schedule_turn(lp, lp.clock)
+
+    @property
+    def gvt(self) -> float:
+        return self.gvt_algorithm.gvt if self.gvt_algorithm else 0.0
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Run to quiescence: no work, no in-flight messages, no buffers."""
+        limit = self.config.max_executed_events
+        heap = self._heap
+        while heap:
+            when, _, kind, data = heapq.heappop(heap)
+            self.wallclock = max(self.wallclock, when)
+
+            if kind == _DELIVER:
+                self._handle_delivery(when, data)  # type: ignore[arg-type]
+            elif kind == _TURN:
+                self._handle_turn(when, data)  # type: ignore[arg-type]
+            elif kind == _FLUSH:
+                self._handle_flush(when, data)  # type: ignore[arg-type]
+            elif kind == _EXTERNAL:
+                # external runtime adjustment (paper reference [26])
+                data(self)  # type: ignore[operator]
+                for lp in self.lps:
+                    if lp.has_work():
+                        self._schedule_turn(lp, lp.clock)
+            else:  # _GVT_TICK
+                self._gvt_tick_scheduled = False
+                if self._app_quiescent():
+                    # No application work left: stop initiating rounds (a
+                    # round's own control traffic must not keep GVT alive
+                    # forever); any in-progress round drains on its own.
+                    continue
+                self.gvt_algorithm.start_round()
+                self._schedule_gvt_tick(when + self.config.gvt_period)
+
+            if limit is not None and self._executed_events > limit:
+                raise TerminationError(
+                    f"executed more than {limit} events without terminating"
+                )
+            if self._quiescent():
+                break
+        self.terminated = True
+
+    def _handle_delivery(self, when: float, message: PhysicalMessage) -> None:
+        self._pending_deliveries -= 1
+        if message.kind is MessageKind.DATA:
+            self._pending_data -= 1
+        self.network.on_delivered(message)
+        lp = self.lps[message.dst_lp]
+        lp.advance_clock_to(when)
+        if message.kind is MessageKind.DATA:
+            self.gvt_algorithm.observe_receive(message)
+            lp.receive_physical(message.size_bytes(), message.events)
+        else:
+            self.gvt_algorithm.handle_control(message)
+        if lp.has_work():
+            self._schedule_turn(lp, lp.clock)
+        else:
+            # A delivery can consume the LP's last work (e.g. an
+            # anti-message annihilating everything a rollback re-queued):
+            # run the idle hook so dangling lazy comparisons are resolved
+            # and aggregates flushed, exactly as an idle turn would.
+            lp.on_idle()
+            if lp.has_work():
+                self._schedule_turn(lp, lp.clock)
+
+    def _handle_turn(self, when: float, lp_id: int) -> None:
+        self._turn_scheduled[lp_id] = False
+        lp = self.lps[lp_id]
+        lp.advance_clock_to(when)
+        executed = 0
+        while executed < self.config.events_per_turn:
+            if not lp.execute_one():
+                break
+            executed += 1
+        self._executed_events += executed
+        if lp.has_work():
+            self._schedule_turn(lp, lp.clock)
+        else:
+            lp.on_idle()
+            # Expiring comparisons on idle can create new local work
+            # (intra-LP anti-messages); re-check before sleeping.
+            if lp.has_work():
+                self._schedule_turn(lp, lp.clock)
+
+    def _handle_flush(self, when: float, data: tuple[int, int, int]) -> None:
+        lp_id, dst_lp, generation = data
+        lp = self.lps[lp_id]
+        lp.advance_clock_to(when)
+        lp.comm.flush_due(dst_lp, generation)
+
+    # ------------------------------------------------------------------ #
+    # quiescence
+    # ------------------------------------------------------------------ #
+    def _app_quiescent(self) -> bool:
+        """No application activity: no data on the wire, no runnable
+        events, no buffered aggregates, no anti-messages still owed.
+
+        Window-blocked events count as activity (``ignore_window=True``):
+        a throttled LP is waiting for GVT, not done — and it is exactly
+        the GVT tick this predicate gates that will unblock it."""
+        if self._pending_data:
+            return False
+        for lp in self.lps:
+            if lp.has_work(ignore_window=True):
+                return False
+            if lp.comm is not None and lp.comm.buffered_event_count():
+                return False
+            for ctx in lp.members.values():
+                if ctx.cmp_buffer.min_live_time() is not None:
+                    return False  # an anti-message may still be owed
+        return True
+
+    def _quiescent(self) -> bool:
+        """Full termination condition: the application is quiescent and
+        all control traffic (GVT tokens/broadcasts) has drained too."""
+        if self._pending_deliveries:
+            return False
+        if self.gvt_algorithm.round_active:
+            return False
+        return self._app_quiescent()
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    @property
+    def execution_time(self) -> float:
+        """Modelled makespan: the latest LP wall clock."""
+        return max((lp.clock for lp in self.lps), default=0.0)
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed_events

@@ -1,0 +1,15 @@
+"""Communication substrate: physical messages, aggregation, NOW network."""
+
+from .aggregation import AggregationPolicy, FixedWindow, NoAggregation
+from .message import MessageKind, PhysicalMessage
+from .network import Network
+from .transport import CommModule
+
+__all__ = [
+    "AggregationPolicy",
+    "CommModule",
+    "FixedWindow",
+    "MessageKind",
+    "Network",
+    "NoAggregation",
+]

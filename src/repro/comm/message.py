@@ -1,0 +1,55 @@
+"""Physical messages: what actually crosses the modelled network.
+
+A physical message bundles one or more application events bound from one
+LP to another (Dynamic Message Aggregation), or carries a kernel control
+payload (a GVT token).  The per-physical-message overhead — not the event
+count — dominates 1998-era NOW communication cost, which is the entire
+premise of DyMA.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kernel.event import Event, VirtualTime
+
+#: Modelled size of the physical-message envelope (UDP/IP + kernel framing).
+PHYSICAL_HEADER_BYTES = 64
+
+_serial_counter = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    DATA = "data"
+    GVT_TOKEN = "gvt-token"
+    GVT_BROADCAST = "gvt-broadcast"
+
+
+@dataclass(slots=True, frozen=True)
+class PhysicalMessage:
+    """One wire-level message between two LPs."""
+
+    src_lp: int
+    dst_lp: int
+    kind: MessageKind
+    events: tuple[Event, ...] = ()
+    control: Any = None
+    serial: int = field(default_factory=lambda: next(_serial_counter))
+
+    def size_bytes(self) -> int:
+        if self.kind is MessageKind.DATA:
+            return PHYSICAL_HEADER_BYTES + sum(e.size_bytes() for e in self.events)
+        # Control messages are small and fixed-size.
+        return PHYSICAL_HEADER_BYTES + 32
+
+    def min_event_time(self) -> VirtualTime | None:
+        """Smallest receive timestamp carried (for GVT accounting)."""
+        if not self.events:
+            return None
+        return min(event.recv_time for event in self.events)
+
+    def event_count(self) -> int:
+        return len(self.events)

@@ -1,0 +1,97 @@
+"""The modelled shared-Ethernet network of workstations.
+
+The network converts a physical message's send-completion wall-clock time
+into an arrival wall-clock time at the destination LP, enforces per-channel
+FIFO (TCP-like ordering between each LP pair, which WARPED relied on), and
+tracks in-flight messages so GVT can account for transient events.
+
+Delivery scheduling is delegated to whatever owns the wall clock (the
+cluster executive) through the ``deliver`` callback, keeping this module
+independent of the execution engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cluster.costmodel import NetworkModel
+from ..kernel.event import VirtualTime
+from .message import MessageKind, PhysicalMessage
+
+#: Minimal spacing between two arrivals on the same channel; keeps FIFO
+#: strict even for zero-size control messages.
+CHANNEL_EPSILON = 1e-6
+
+
+def _jitter_unit(src: int, dst: int, index: int, seed: int = 0) -> float:
+    """Deterministic pseudo-random value in [-1, 1] for background load.
+
+    ``index`` is the per-channel message ordinal (not the global serial),
+    so a run's jitter pattern depends only on its own traffic — repeated
+    runs in one process see identical "background load".
+    """
+    h = (src * 1_000_003 + dst * 10_007 + index * 97 + seed * 7919)
+    h = (h * 2654435761) % 2**32
+    return (h / 2**31) - 1.0
+
+
+class Network:
+    """Shared-segment network connecting all LPs."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        deliver: Callable[[int, float, PhysicalMessage], None],
+    ) -> None:
+        self.model = model
+        self._deliver = deliver
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self._channel_counts: dict[tuple[int, int], int] = {}
+        self._in_flight: dict[int, PhysicalMessage] = {}
+        #: optional observer invoked for every DATA message entering the
+        #: wire (used by distributed GVT algorithms for message colouring)
+        self.on_data_send: Callable[[PhysicalMessage], None] | None = None
+        # statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.events_carried = 0
+
+    def send(self, message: PhysicalMessage, completion_clock: float) -> float:
+        """Inject ``message`` at ``completion_clock``; returns arrival time."""
+        size = message.size_bytes()
+        channel = (message.src_lp, message.dst_lp)
+        index = self._channel_counts.get(channel, 0)
+        self._channel_counts[channel] = index + 1
+        jitter = _jitter_unit(
+            message.src_lp, message.dst_lp, index, self.model.seed
+        )
+        latency = self.model.delivery_latency(size, jitter)
+        arrival = completion_clock + latency
+        previous = self._last_arrival.get(channel)
+        if previous is not None and arrival <= previous:
+            arrival = previous + CHANNEL_EPSILON
+        self._last_arrival[channel] = arrival
+        self._in_flight[message.serial] = message
+        if self.on_data_send is not None and message.kind is MessageKind.DATA:
+            self.on_data_send(message)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.events_carried += message.event_count()
+        self._deliver(message.dst_lp, arrival, message)
+        return arrival
+
+    def on_delivered(self, message: PhysicalMessage) -> None:
+        """The executive hands the message to its LP; stop tracking it."""
+        self._in_flight.pop(message.serial, None)
+
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def min_in_flight_time(self) -> VirtualTime | None:
+        """Smallest event receive-time still on the wire (GVT accounting)."""
+        best: VirtualTime | None = None
+        for message in self._in_flight.values():
+            t = message.min_event_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        return best

@@ -1,0 +1,164 @@
+"""Per-LP communication module: routing, aggregation, and control traffic.
+
+Every LP owns one :class:`CommModule`.  Remote application events pass
+through a per-destination :class:`AggregateBuffer` governed by the LP's
+aggregation policy; kernel control messages (GVT tokens) bypass
+aggregation.  The module charges all send-side CPU costs to its host LP's
+wall clock and asks the host to schedule wall-clock flush callbacks for
+aging aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..cluster.costmodel import CostModel
+from ..kernel.event import Event, VirtualTime
+from .aggregation import AggregateBuffer, AggregationPolicy
+from .message import MessageKind, PhysicalMessage
+from .network import Network
+
+
+class TransportHost(Protocol):
+    """Services the owning LP provides to its comm module."""
+
+    lp_id: int
+
+    @property
+    def clock(self) -> float: ...
+
+    def charge(self, cost: float) -> None: ...
+
+    def schedule_flush(self, dst_lp: int, at: float, generation: int) -> None: ...
+
+    def note_physical_sent(self) -> None:
+        """Statistics hook: one physical message left this host."""
+        ...
+
+
+class CommModule:
+    """Aggregating transport endpoint of one LP."""
+
+    #: Hard cap on events per aggregate; bounds memory and models the MTU.
+    MAX_AGGREGATE_EVENTS = 128
+
+    def __init__(
+        self,
+        host: TransportHost,
+        network: Network,
+        costs: CostModel,
+        policy: AggregationPolicy,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.costs = costs
+        self.policy = policy
+        self.window: float = policy.initial_window()
+        self._buffers: dict[int, AggregateBuffer] = {}
+        self._routing: dict[int, int] = {}
+        # statistics
+        self.aggregates_sent = 0
+        self.events_sent = 0
+        self.antis_annihilated_in_buffer = 0
+        self.window_trace: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # application-event path
+    # ------------------------------------------------------------------ #
+    def enqueue(self, event: Event) -> None:
+        """Queue one application event for a remote LP (called post-routing,
+        so ``event.receiver`` is known to live on another LP)."""
+        dst_lp = self._dst_lp_of(event)
+        if self.window <= 0.0:
+            self._transmit(dst_lp, (event,))
+            return
+        buffer = self._buffers.get(dst_lp)
+        if buffer is None:
+            buffer = self._buffers[dst_lp] = AggregateBuffer(dst_lp=dst_lp)
+        if event.is_anti and buffer.try_annihilate(event):
+            self.antis_annihilated_in_buffer += 1
+            return
+        if not buffer.events:
+            buffer.open(self.host.clock)
+            self.host.schedule_flush(
+                dst_lp, self.host.clock + self.window, buffer.generation
+            )
+        buffer.append(event)
+        if len(buffer) >= self.MAX_AGGREGATE_EVENTS:
+            self._send_aggregate(buffer)
+
+    def _dst_lp_of(self, event: Event) -> int:
+        # The LP resolves receiver -> LP before calling us and stashes it on
+        # a routing side-table to keep Event immutable and compact.
+        return self._routing[event.receiver]
+
+    def set_routing(self, routing: dict[int, int]) -> None:
+        """Install the receiver-object -> LP map (built by the kernel)."""
+        self._routing = routing
+
+    # ------------------------------------------------------------------ #
+    # flushing
+    # ------------------------------------------------------------------ #
+    def flush_due(self, dst_lp: int, generation: int) -> None:
+        """Wall-clock flush callback; ignores stale generations."""
+        buffer = self._buffers.get(dst_lp)
+        if buffer is None or buffer.generation != generation or not buffer.events:
+            return
+        self._send_aggregate(buffer)
+
+    def flush_all(self) -> int:
+        """Force-send every non-empty aggregate (idle or GVT barrier)."""
+        flushed = 0
+        for buffer in self._buffers.values():
+            if buffer.events:
+                self._send_aggregate(buffer)
+                flushed += 1
+        return flushed
+
+    def _send_aggregate(self, buffer: AggregateBuffer) -> None:
+        age = buffer.age(self.host.clock)
+        count = len(buffer)
+        events = buffer.take()
+        self._transmit(buffer.dst_lp, events)
+        new_window = self.policy.next_window(count, age, self.window)
+        if new_window != self.window:
+            self.window = new_window
+            self.window_trace.append((self.host.clock, new_window))
+
+    def _transmit(self, dst_lp: int, events: tuple[Event, ...]) -> None:
+        message = PhysicalMessage(
+            src_lp=self.host.lp_id,
+            dst_lp=dst_lp,
+            kind=MessageKind.DATA,
+            events=events,
+        )
+        self.host.charge(self.costs.physical_send(message.size_bytes()))
+        self.host.note_physical_sent()
+        self.network.send(message, self.host.clock)
+        self.aggregates_sent += 1
+        self.events_sent += len(events)
+
+    # ------------------------------------------------------------------ #
+    # control traffic (bypasses aggregation)
+    # ------------------------------------------------------------------ #
+    def send_control(self, dst_lp: int, kind: MessageKind, control: object) -> None:
+        message = PhysicalMessage(
+            src_lp=self.host.lp_id, dst_lp=dst_lp, kind=kind, control=control
+        )
+        self.host.charge(self.costs.physical_send(message.size_bytes()))
+        self.host.note_physical_sent()
+        self.network.send(message, self.host.clock)
+
+    # ------------------------------------------------------------------ #
+    # GVT accounting
+    # ------------------------------------------------------------------ #
+    def min_buffered_time(self) -> VirtualTime | None:
+        best: VirtualTime | None = None
+        for buffer in self._buffers.values():
+            t = buffer.min_event_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
+    def buffered_event_count(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers.values())

@@ -1,0 +1,5 @@
+"""Conservative (YAWNS bounded-window) kernel over the same app API."""
+
+from .kernel import ConservativeSimulation
+
+__all__ = ["ConservativeSimulation"]

@@ -1,0 +1,55 @@
+"""The paper's contribution: on-line configuration by feedback control.
+
+This package holds the ``<O, I, S, T, P>`` control framework (Section 3)
+and its three instantiations: dynamic check-pointing (Section 4), dynamic
+cancellation (Section 5) and dynamic message aggregation (Section 6).
+"""
+
+from .aggregation_controller import BoundedMultiplicativeSAAW, SAAWPolicy
+from .cancellation_controller import (
+    DynamicCancellation,
+    PermanentAggressive,
+    PermanentSet,
+    single_threshold,
+)
+from .checkpoint_controller import DynamicCheckpoint, HillClimbCheckpoint
+from .control import ControlSpec, Controlled
+from .external import (
+    set_aggregation_window,
+    set_cancellation_mode,
+    set_checkpoint_interval,
+    set_optimism_window,
+)
+from .filters import EWMA, MovingAverage, SampleWindow
+from .thresholding import DeadZoneThreshold
+from .window_controller import (
+    AdaptiveTimeWindow,
+    StaticTimeWindow,
+    TimeWindowPolicy,
+    WindowObservation,
+)
+
+__all__ = [
+    "BoundedMultiplicativeSAAW",
+    "ControlSpec",
+    "Controlled",
+    "DeadZoneThreshold",
+    "DynamicCancellation",
+    "DynamicCheckpoint",
+    "EWMA",
+    "HillClimbCheckpoint",
+    "MovingAverage",
+    "PermanentAggressive",
+    "PermanentSet",
+    "SAAWPolicy",
+    "SampleWindow",
+    "single_threshold",
+    "AdaptiveTimeWindow",
+    "StaticTimeWindow",
+    "TimeWindowPolicy",
+    "WindowObservation",
+    "set_aggregation_window",
+    "set_cancellation_mode",
+    "set_checkpoint_interval",
+    "set_optimism_window",
+]

@@ -1,0 +1,53 @@
+"""The configuration control system abstraction of Section 3.
+
+The paper characterizes an on-line configuration control system by the
+tuple ``<O, I, S, T, P>``:
+
+* ``O`` — the sampled output (e.g. the checkpointing cost index ``Ec``,
+  or the Hit Ratio ``HR``);
+* ``I`` — the parameter under configuration (checkpoint interval,
+  cancellation strategy, aggregation window);
+* ``S`` — the initial configuration;
+* ``T`` — the transfer function from ``O`` to the new configuration;
+* ``P`` — the period between control invocations.
+
+Unlike analog control, the feedback logic competes for the same CPU
+cycles as useful computation, so ``P`` must be large enough that tuning
+overhead does not outweigh the benefit of the better configuration — the
+kernel charges :attr:`~repro.cluster.costmodel.CostModel.control_invocation_cost`
+per invocation, and ``benchmarks/bench_abl_control_period.py`` sweeps ``P``.
+
+Every concrete controller in this package exposes its tuple through
+:meth:`Controlled.spec`, both as executable documentation and so reports
+can print the configuration of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True, slots=True)
+class ControlSpec:
+    """The ``<O, I, S, T, P>`` tuple of one control system, as data."""
+
+    sampled_output: str
+    configured_parameter: str
+    initial_configuration: Any
+    transfer_function: str
+    period: Any
+
+    def __str__(self) -> str:
+        return (
+            f"<O={self.sampled_output}, I={self.configured_parameter}, "
+            f"S={self.initial_configuration}, T={self.transfer_function}, "
+            f"P={self.period}>"
+        )
+
+
+@runtime_checkable
+class Controlled(Protocol):
+    """Anything that can describe itself as a configuration control system."""
+
+    def spec(self) -> ControlSpec: ...

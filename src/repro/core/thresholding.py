@@ -1,0 +1,65 @@
+"""Non-linear thresholding with a dead zone (Figure 3 of the paper).
+
+A thresholding function maps a continuous input (e.g. the Hit Ratio) to a
+discrete output (e.g. the cancellation strategy) through two boundaries
+with a *dead zone* between them: the output only changes after the input
+crosses into the region beyond the far threshold, and while the input sits
+inside the dead zone the function keeps producing its previous output.
+The hysteresis this introduces is one of the paper's three anti-thrashing
+mechanisms (with a deep filter and infrequent control invocation).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from ..kernel.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class DeadZoneThreshold(Generic[T]):
+    """Two-threshold switch between a *low* and a *high* output value.
+
+    * input > ``upper``  -> output becomes ``high``
+    * input < ``lower``  -> output becomes ``low``
+    * otherwise (the dead zone, boundaries included) -> output unchanged
+
+    The comparisons are strict, following the paper's wording ("whenever
+    HR *rises over* A2L_Threshold... if HR *falls below* L2A_Threshold"):
+    with ``lower == upper`` (the single-threshold ``ST`` variant) a value
+    exactly at the threshold would otherwise satisfy both conditions and
+    thrash.
+    """
+
+    def __init__(self, lower: float, upper: float, low: T, high: T, initial: T) -> None:
+        if lower > upper:
+            raise ConfigurationError(
+                f"lower threshold ({lower}) must not exceed upper ({upper})"
+            )
+        if initial not in (low, high):
+            raise ConfigurationError("initial output must be one of the two outputs")
+        self.lower = lower
+        self.upper = upper
+        self.low = low
+        self.high = high
+        self._output = initial
+        self.transitions = 0
+
+    def update(self, value: float) -> T:
+        """Feed one input sample; returns the (possibly unchanged) output."""
+        if value > self.upper and self._output != self.high:
+            self._output = self.high
+            self.transitions += 1
+        elif value < self.lower and self._output != self.low:
+            self._output = self.low
+            self.transitions += 1
+        return self._output
+
+    @property
+    def output(self) -> T:
+        return self._output
+
+    @property
+    def dead_zone_width(self) -> float:
+        return self.upper - self.lower

@@ -1,0 +1,146 @@
+"""Adaptive bounded time windows — the extension control system.
+
+The paper's related work (Palaniswamy & Wilsey, "Adaptive bounded time
+windows in an optimistically synchronized simulator" — reference [20])
+throttles optimism: an LP may only execute events within ``GVT + W`` of
+virtual time, trading idle time for avoided rollbacks.  A static ``W``
+has the same problem as every other static configuration in this paper,
+so we close the loop with the same ``<O, I, S, T, P>`` machinery:
+
+* ``O`` — the fraction of executed events that were rolled back since the
+  previous control invocation (wasted-work ratio);
+* ``I`` — the time-window width ``W`` (virtual time units);
+* ``S`` — unbounded (pure Time Warp) until the first measurement;
+* ``T`` — multiplicative decrease when waste exceeds ``high_waste``,
+  multiplicative increase when below ``low_waste`` (dead zone between);
+* ``P`` — every GVT round (the natural opportunity: windows are anchored
+  at GVT, so that is when they move anyway).
+
+This is a *global* controller (one instance per simulation, shared by
+all LPs) because the window is anchored at the global GVT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..kernel.errors import ConfigurationError
+from .control import ControlSpec
+
+UNBOUNDED = float("inf")
+
+
+@dataclass(slots=True)
+class WindowObservation:
+    """What the executive reports at each GVT round."""
+
+    executed: int = 0
+    rolled_back: int = 0
+    #: fraction of wall-clock the LPs spent blocked on the window
+    blocked_fraction: float = 0.0
+
+    @property
+    def waste(self) -> float:
+        return self.rolled_back / self.executed if self.executed else 0.0
+
+
+class TimeWindowPolicy(Protocol):
+    """Controls the optimism window of the whole simulation."""
+
+    def initial_window(self) -> float: ...
+
+    def control(self, observation: WindowObservation) -> float:
+        """Observe the last GVT interval; return the next window width."""
+        ...
+
+
+@dataclass
+class StaticTimeWindow:
+    """A fixed optimism bound (reference [20]'s non-adaptive baseline)."""
+
+    window: float = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ConfigurationError("time window must be positive")
+
+    def initial_window(self) -> float:
+        return self.window
+
+    def control(self, observation: WindowObservation) -> float:
+        return self.window
+
+
+@dataclass
+class AdaptiveTimeWindow:
+    """Feedback-controlled optimism window.
+
+    Attributes:
+        initial: starting width ``S`` (default unbounded: start as pure
+            Time Warp and clamp only if waste shows up).
+        high_waste / low_waste: dead-zone thresholds on the wasted-work
+            ratio.
+        shrink / grow: multiplicative adjustments applied outside the
+            dead zone.
+        min_window: floor, in virtual-time units; must be generous enough
+            to keep several events executable, or throttling serializes
+            the simulation.
+    """
+
+    initial: float = UNBOUNDED
+    high_waste: float = 0.25
+    low_waste: float = 0.08
+    shrink: float = 0.5
+    grow: float = 1.5
+    min_window: float = 1.0
+
+    _window: float = field(init=False)
+    #: (waste, window) per control invocation
+    history: list[tuple[float, float]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low_waste <= self.high_waste <= 1:
+            raise ConfigurationError(
+                "need 0 <= low_waste <= high_waste <= 1"
+            )
+        if not 0 < self.shrink < 1 < self.grow:
+            raise ConfigurationError("need shrink in (0,1) and grow > 1")
+        if self.min_window <= 0 or self.initial <= 0:
+            raise ConfigurationError("windows must be positive")
+        self._window = self.initial
+
+    def initial_window(self) -> float:
+        return self._window
+
+    def control(self, observation: WindowObservation) -> float:
+        waste = observation.waste
+        self.history.append((waste, self._window))
+        if waste > self.high_waste:
+            if self._window is UNBOUNDED or self._window == UNBOUNDED:
+                # First clamp: anchor to something observable — the
+                # controller cannot halve infinity.  Use min_window scaled
+                # well up; subsequent rounds will adjust multiplicatively.
+                self._window = self.min_window * 64
+            else:
+                self._window = max(self.min_window, self._window * self.shrink)
+        elif waste < self.low_waste:
+            if self._window != UNBOUNDED:
+                self._window = self._window * self.grow
+        return self._window
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    def spec(self) -> ControlSpec:
+        return ControlSpec(
+            sampled_output="wasted-work ratio (rolled back / executed)",
+            configured_parameter="optimism time window W",
+            initial_configuration=self.initial,
+            transfer_function=(
+                f"W *= {self.shrink} above {self.high_waste} waste, "
+                f"W *= {self.grow} below {self.low_waste}"
+            ),
+            period="every GVT round",
+        )

@@ -1,0 +1,6 @@
+"""Global Virtual Time estimation and fossil collection."""
+
+from .manager import GVTAlgorithm, OmniscientGVT, true_global_minimum
+from .mattern import MatternGVT
+
+__all__ = ["GVTAlgorithm", "MatternGVT", "OmniscientGVT", "true_global_minimum"]

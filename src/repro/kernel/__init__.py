@@ -1,0 +1,43 @@
+"""Time Warp kernel substrate: events, queues, objects, LPs, rollback."""
+
+from .cancellation import Mode, StaticCancellation, aggressive, lazy
+from .checkpointing import CheckpointWindow, StaticCheckpoint, every_event
+from .config import SimulationConfig
+from .errors import (
+    CausalityViolationError,
+    ConfigurationError,
+    SchedulingError,
+    StateHistoryError,
+    TerminationError,
+    TimeWarpError,
+)
+from .event import Event, EventId, EventKey, VirtualTime
+from .kernel import Partition, TimeWarpSimulation
+from .simobject import SimulationObject
+from .state import RecordState, SavedState
+
+__all__ = [
+    "CausalityViolationError",
+    "CheckpointWindow",
+    "ConfigurationError",
+    "Event",
+    "EventId",
+    "EventKey",
+    "Mode",
+    "Partition",
+    "RecordState",
+    "SavedState",
+    "SchedulingError",
+    "SimulationConfig",
+    "SimulationObject",
+    "StateHistoryError",
+    "StaticCancellation",
+    "StaticCheckpoint",
+    "TerminationError",
+    "TimeWarpError",
+    "TimeWarpSimulation",
+    "VirtualTime",
+    "aggressive",
+    "every_event",
+    "lazy",
+]

@@ -1,0 +1,195 @@
+"""Cancellation strategies: aggressive, lazy, and the comparison machinery.
+
+Aggressive cancellation sends anti-messages the moment a rollback undoes a
+send.  Lazy cancellation parks undone sends and lets forward execution
+demonstrate, by comparing regenerated output with the parked originals,
+whether the originals were actually wrong — equal output is a *lazy hit*
+(nothing is sent at all), while an original that is never regenerated is
+cancelled once execution passes the point that produced it.
+
+The same comparison machinery runs **passively** under aggressive
+cancellation when the dynamic-cancellation controller needs the Hit Ratio:
+the anti-messages have already gone out, but the kernel still checks
+whether regenerated output equals the cancelled output (a *lazy-aggressive
+hit* in the paper's terms).  This passive comparison has a small CPU cost,
+which is exactly what the paper's PS/PA variants save by locking a strategy
+in and switching the monitor off.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Any, Iterator, Protocol
+
+from .event import Event, EventKey, SentRecord, VirtualTime
+
+
+class Mode(enum.Enum):
+    """The two cancellation strategies of the paper."""
+
+    AGGRESSIVE = "aggressive"
+    LAZY = "lazy"
+
+
+@dataclass(slots=True)
+class Comparison:
+    """A parked output message awaiting comparison with regenerated output.
+
+    ``lazy`` records the strategy in force when the send was undone:
+    lazy entries are *live* messages (the original was never cancelled, so
+    a miss must emit its anti-message); aggressive entries are monitor-only
+    (the anti-message is already on the wire).
+    """
+
+    record: SentRecord
+    lazy: bool
+    seq: int
+    resolved: bool = False
+
+    def content(self) -> tuple[int, VirtualTime, Any]:
+        return self.record.event.content()
+
+
+class ComparisonBuffer:
+    """Parked sends of one simulation object, indexed for O(1) matching.
+
+    Matching is by :meth:`Event.content` equality; expiry is by the
+    total-order key of the event that originally produced the send — once
+    forward execution passes that key, the original can no longer be
+    regenerated and the comparison resolves as a miss.
+    """
+
+    __slots__ = ("_by_content", "_by_key", "_seq")
+
+    def __init__(self) -> None:
+        self._by_content: dict[Any, list[Comparison]] = {}
+        self._by_key: list[tuple[EventKey, int, Comparison]] = []
+        self._seq = 0
+
+    def park(self, record: SentRecord, lazy: bool) -> Comparison:
+        entry = Comparison(record=record, lazy=lazy, seq=self._seq)
+        self._seq += 1
+        self._by_content.setdefault(entry.content(), []).append(entry)
+        heapq.heappush(self._by_key, (record.cause_key, entry.seq, entry))
+        return entry
+
+    def match(self, event: Event) -> Comparison | None:
+        """Resolve and return the oldest parked entry equal to ``event``."""
+        bucket = self._by_content.get(event.content())
+        if not bucket:
+            return None
+        entry = bucket.pop(0)
+        if not bucket:
+            del self._by_content[event.content()]
+        entry.resolved = True
+        return entry
+
+    def _pop_expired(self, limit: EventKey | None) -> Iterator[Comparison]:
+        while self._by_key:
+            cause_key, _, entry = self._by_key[0]
+            if limit is not None and cause_key > limit:
+                break
+            heapq.heappop(self._by_key)
+            if entry.resolved:
+                continue
+            entry.resolved = True
+            bucket = self._by_content.get(entry.content())
+            if bucket is not None:
+                bucket.remove(entry)
+                if not bucket:
+                    del self._by_content[entry.content()]
+            yield entry
+
+    def expire_through(self, key: EventKey) -> list[Comparison]:
+        """Unresolved entries caused at or before ``key`` (now misses)."""
+        return list(self._pop_expired(key))
+
+    def expire_all(self) -> list[Comparison]:
+        """Flush every unresolved entry (object went idle)."""
+        return list(self._pop_expired(None))
+
+    def min_live_time(self) -> VirtualTime | None:
+        """Smallest receive time among unresolved *lazy* entries.
+
+        GVT must not advance past this: a miss on such an entry emits an
+        anti-message with that receive time.
+        """
+        best: VirtualTime | None = None
+        for _, _, entry in self._by_key:
+            if not entry.resolved and entry.lazy:
+                t = entry.record.event.recv_time
+                if best is None or t < best:
+                    best = t
+        return best
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_content.values())
+
+    def pending(self) -> bool:
+        return bool(self._by_content)
+
+
+class CancellationPolicy(Protocol):
+    """Per-object strategy selector (static or feedback-controlled).
+
+    The kernel calls :meth:`record` once per resolved comparison (cheap
+    sample collection) and :meth:`control` every :attr:`period` resolved
+    comparisons — the control invocation is what the cost model charges.
+    """
+
+    #: control invocation period in comparisons; ``None`` disables control
+    period: int | None
+
+    def initial_mode(self) -> Mode: ...
+
+    @property
+    def monitoring(self) -> bool:
+        """Whether passive comparison runs under aggressive cancellation."""
+        ...
+
+    def record(self, hit: bool) -> None: ...
+
+    def control(self) -> Mode: ...
+
+
+@dataclass
+class StaticCancellation:
+    """Fixed-strategy policy: the classic compile-time switch.
+
+    ``monitor`` is normally False (no passive-comparison cost); tests turn
+    it on to observe hit ratios without affecting behaviour.
+    """
+
+    mode: Mode = Mode.AGGRESSIVE
+    monitor: bool = False
+    period: int | None = None
+    hits: int = 0
+    misses: int = 0
+
+    def initial_mode(self) -> Mode:
+        return self.mode
+
+    @property
+    def monitoring(self) -> bool:
+        return self.monitor
+
+    def record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def control(self) -> Mode:  # pragma: no cover - never invoked (period None)
+        return self.mode
+
+
+def aggressive() -> StaticCancellation:
+    """Factory for plain aggressive cancellation (paper's ``AC``)."""
+    return StaticCancellation(Mode.AGGRESSIVE)
+
+
+def lazy() -> StaticCancellation:
+    """Factory for plain lazy cancellation (paper's ``LC``)."""
+    return StaticCancellation(Mode.LAZY)

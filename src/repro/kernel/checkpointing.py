@@ -1,0 +1,106 @@
+"""Periodic check-pointing: policies and the cost window they observe.
+
+The kernel saves an object's state every ``interval`` processed events
+(periodic check-pointing).  A rollback then restores the newest snapshot
+preceding the straggler and *coasts forward*, re-executing the intermediate
+events with sends suppressed.  The interval trades state-saving cost
+against coast-forward cost; the paper's dynamic controller
+(:mod:`repro.core.checkpoint_controller`) minimizes their sum ``Ec``.
+
+This module holds the kernel-facing pieces: the policy protocol, the
+per-object accounting window handed to the policy at each control
+invocation, and the static policy (the paper's baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from .errors import ConfigurationError
+
+#: Upper bound on checkpoint intervals; prevents runaway growth when a
+#: model never rolls back (coast cost 0 would push the interval forever).
+MAX_INTERVAL = 256
+
+
+@dataclass(slots=True)
+class CheckpointWindow:
+    """What one object observed since the previous control invocation.
+
+    ``save_cost`` and ``coast_cost`` are modelled CPU microseconds; their
+    sum is the paper's check-pointing cost index ``Ec``.
+    """
+
+    events: int = 0
+    saves: int = 0
+    save_cost: float = 0.0
+    coast_events: int = 0
+    coast_cost: float = 0.0
+    rollbacks: int = 0
+
+    @property
+    def ec(self) -> float:
+        """The paper's cost index: state saving plus coasting forward."""
+        return self.save_cost + self.coast_cost
+
+    def reset(self) -> None:
+        self.events = 0
+        self.saves = 0
+        self.save_cost = 0.0
+        self.coast_events = 0
+        self.coast_cost = 0.0
+        self.rollbacks = 0
+
+    def snapshot(self) -> "CheckpointWindow":
+        return CheckpointWindow(
+            events=self.events,
+            saves=self.saves,
+            save_cost=self.save_cost,
+            coast_events=self.coast_events,
+            coast_cost=self.coast_cost,
+            rollbacks=self.rollbacks,
+        )
+
+
+class CheckpointPolicy(Protocol):
+    """Per-object checkpoint-interval selector.
+
+    The kernel invokes :meth:`control` every :attr:`period` processed
+    events (charging control cost); between invocations it checkpoints
+    every :meth:`interval` events.
+    """
+
+    #: control invocation period in processed events; ``None`` = static
+    period: int | None
+
+    def initial_interval(self) -> int: ...
+
+    def control(self, window: CheckpointWindow) -> int:
+        """Observe the window, return the interval for the next window."""
+        ...
+
+
+@dataclass
+class StaticCheckpoint:
+    """Fixed checkpoint interval — the paper's "Periodic Checkpointing"."""
+
+    interval: int = 1
+    period: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.interval <= MAX_INTERVAL:
+            raise ConfigurationError(
+                f"checkpoint interval must be in [1, {MAX_INTERVAL}], got {self.interval}"
+            )
+
+    def initial_interval(self) -> int:
+        return self.interval
+
+    def control(self, window: CheckpointWindow) -> int:  # pragma: no cover
+        return self.interval
+
+
+def every_event() -> StaticCheckpoint:
+    """Save state after every event (WARPED's default, chi = 1)."""
+    return StaticCheckpoint(1)

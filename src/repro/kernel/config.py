@@ -1,0 +1,115 @@
+"""Simulation configuration: the paper's notion of *configuration* as data.
+
+A :class:`SimulationConfig` bundles the sub-algorithm selections and
+parameter settings of the simulator — cancellation strategy, checkpoint
+policy, aggregation policy, GVT algorithm and period — together with the
+modelled platform (cost model, network, per-LP speed factors).  The bench
+harness sweeps these objects to regenerate the paper's figures.
+
+Policy fields are *factories* (one policy instance is created per object,
+or per LP for aggregation) and receive the thing they will govern, so an
+application can, for example, give disks and forks different controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..cluster.costmodel import DEFAULT_COSTS, DEFAULT_NETWORK, CostModel, NetworkModel
+from .cancellation import CancellationPolicy, StaticCancellation, Mode
+from .checkpointing import CheckpointPolicy, StaticCheckpoint
+from .errors import ConfigurationError
+from .simobject import SimulationObject
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a kernel <-> comm import cycle
+    from ..comm.aggregation import AggregationPolicy
+    from ..core.window_controller import TimeWindowPolicy
+
+CancellationFactory = Callable[[SimulationObject], CancellationPolicy]
+CheckpointFactory = Callable[[SimulationObject], CheckpointPolicy]
+AggregationFactory = Callable[[int], "AggregationPolicy"]
+TimeWindowFactory = Callable[[], "TimeWindowPolicy"]
+
+
+def default_cancellation(_obj: SimulationObject) -> CancellationPolicy:
+    """WARPED's default: aggressive cancellation, no monitoring."""
+    return StaticCancellation(Mode.AGGRESSIVE)
+
+
+def default_checkpoint(_obj: SimulationObject) -> CheckpointPolicy:
+    """WARPED's default: save state after every event."""
+    return StaticCheckpoint(1)
+
+
+def default_aggregation(_lp_id: int) -> "AggregationPolicy":
+    """No aggregation: one physical message per remote event."""
+    from ..comm.aggregation import NoAggregation
+
+    return NoAggregation()
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that parameterizes one Time Warp run."""
+
+    cancellation: CancellationFactory = default_cancellation
+    checkpoint: CheckpointFactory = default_checkpoint
+    aggregation: AggregationFactory = default_aggregation
+
+    #: "omniscient" (exact, centrally computed) or "mattern" (distributed)
+    gvt_algorithm: str = "omniscient"
+    #: wall-clock µs between GVT round initiations
+    gvt_period: float = 50_000.0
+
+    #: optional optimism throttling (extension): a factory for the
+    #: bounded-time-window policy, e.g.
+    #: ``lambda: AdaptiveTimeWindow()``.  ``None`` = pure Time Warp.
+    time_window: TimeWindowFactory | None = None
+
+    #: external runtime adjustments (paper reference [26]): a list of
+    #: ``(wallclock_us, adjustment)`` pairs; see :mod:`repro.core.external`
+    external_script: list = field(default_factory=list)
+
+    #: optional :class:`repro.stats.timeline.Timeline` that receives one
+    #: snapshot per GVT round (controller trajectories over the run)
+    timeline: object | None = None
+
+    #: events an LP executes per executive turn (arrival polling interval)
+    events_per_turn: int = 1
+
+    #: virtual-time horizon; events beyond it are never executed
+    end_time: float = float("inf")
+
+    costs: CostModel = DEFAULT_COSTS
+    network: NetworkModel = DEFAULT_NETWORK
+
+    #: per-LP CPU speed factor (>1 = slower workstation); keyed by LP id.
+    #: LPs not listed run at factor 1.0.  Heterogeneity is one source of
+    #: the LVT skew that produces rollbacks on a real NOW.
+    lp_speed_factors: dict[int, float] = field(default_factory=dict)
+
+    #: safety valve for tests: abort after this many executed events
+    max_executed_events: int | None = None
+
+    #: record committed (object, time, payload) triples for equivalence tests
+    record_trace: bool = False
+
+    def validate(self) -> None:
+        if self.gvt_algorithm not in ("omniscient", "mattern"):
+            raise ConfigurationError(
+                f"unknown GVT algorithm {self.gvt_algorithm!r}"
+            )
+        if self.gvt_period <= 0:
+            raise ConfigurationError("gvt_period must be positive")
+        if self.events_per_turn < 1:
+            raise ConfigurationError("events_per_turn must be >= 1")
+        for lp_id, factor in self.lp_speed_factors.items():
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"speed factor for LP {lp_id} must be positive, got {factor}"
+                )
+
+    def costs_for_lp(self, lp_id: int) -> CostModel:
+        factor = self.lp_speed_factors.get(lp_id, 1.0)
+        return self.costs if factor == 1.0 else self.costs.scaled(factor)

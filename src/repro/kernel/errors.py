@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Time Warp kernel.
+
+All kernel-raised errors derive from :class:`TimeWarpError` so applications
+and the test-suite can catch kernel failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class TimeWarpError(Exception):
+    """Base class for all errors raised by the Time Warp kernel."""
+
+
+class CausalityViolationError(TimeWarpError):
+    """An event was executed out of order and could not be recovered.
+
+    This indicates a kernel bug: rollback should always be able to recover
+    from a straggler.  It is raised by internal sanity checks, never during
+    normal operation.
+    """
+
+
+class StateHistoryError(TimeWarpError):
+    """No saved state old enough to recover from a straggler was found.
+
+    Raised when fossil collection discarded a state that was still needed,
+    i.e. the GVT estimate was unsafe, or when an application mutated history.
+    """
+
+
+class SchedulingError(TimeWarpError):
+    """An event was routed to an unknown simulation object or LP."""
+
+
+class ConfigurationError(TimeWarpError):
+    """An invalid kernel, controller or application configuration."""
+
+
+class TerminationError(TimeWarpError):
+    """The executive could not reach quiescence (e.g. leaked messages)."""
+
+
+class ApplicationError(TimeWarpError):
+    """An application's ``execute_process`` raised.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    simulation context a model author needs to reproduce the failure:
+    which object, at which virtual time, processing which payload, and
+    whether it happened during normal execution or a coast-forward replay.
+    """
+
+    def __init__(self, obj_name: str, virtual_time: float, payload: object,
+                 *, coasting: bool = False) -> None:
+        phase = "coast-forward replay" if coasting else "event execution"
+        super().__init__(
+            f"{obj_name} failed during {phase} at t={virtual_time!r} "
+            f"processing {payload!r}"
+        )
+        self.obj_name = obj_name
+        self.virtual_time = virtual_time
+        self.payload = payload
+        self.coasting = coasting

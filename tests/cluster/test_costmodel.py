@@ -1,0 +1,58 @@
+"""Tests for the cost and network models."""
+
+import pytest
+
+from repro.cluster.costmodel import (
+    DEFAULT_COSTS,
+    DEFAULT_NETWORK,
+    CostModel,
+    NetworkModel,
+)
+
+
+class TestCostModel:
+    def test_derived_charges(self):
+        costs = CostModel(event_cost=50.0, state_save_base=10.0,
+                          state_save_per_byte=0.1)
+        assert costs.event_execution() == 50.0
+        assert costs.event_execution(2.0) == 100.0
+        assert costs.state_save(100) == pytest.approx(20.0)
+        assert costs.coast_forward_event() == pytest.approx(45.0)
+        assert costs.physical_send(100) == pytest.approx(
+            costs.msg_send_overhead + 100 * costs.msg_send_per_byte
+        )
+        assert costs.physical_recv(0) == costs.msg_recv_overhead
+        assert costs.state_restore(100) == pytest.approx(
+            costs.state_restore_base + 100 * costs.state_restore_per_byte
+        )
+
+    def test_scaled_multiplies_costs_not_ratios(self):
+        slow = DEFAULT_COSTS.scaled(2.0)
+        assert slow.event_cost == DEFAULT_COSTS.event_cost * 2
+        assert slow.msg_send_overhead == DEFAULT_COSTS.msg_send_overhead * 2
+        assert slow.coast_event_factor == DEFAULT_COSTS.coast_event_factor
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.event_cost = 1.0  # type: ignore[misc]
+
+    def test_message_overhead_dominates_event_cost(self):
+        """The calibration premise (DESIGN.md §8): the 1998 NOW ratio of
+        per-message overhead to event granularity is what drives the
+        aggregation and cancellation results."""
+        assert DEFAULT_COSTS.physical_send(100) > 10 * DEFAULT_COSTS.event_cost
+
+
+class TestNetworkModel:
+    def test_latency_composition(self):
+        model = NetworkModel(base_latency=100.0, per_byte=2.0, jitter=0.0)
+        assert model.delivery_latency(10) == 120.0
+
+    def test_jitter_scales_latency(self):
+        model = NetworkModel(base_latency=100.0, per_byte=0.0, jitter=0.5)
+        assert model.delivery_latency(0, jitter_unit=1.0) == 150.0
+        assert model.delivery_latency(0, jitter_unit=-1.0) == 50.0
+
+    def test_default_models_10mbit_ethernet(self):
+        # 10 Mb/s == 0.8 µs per byte
+        assert DEFAULT_NETWORK.per_byte == pytest.approx(0.8)

@@ -1,0 +1,42 @@
+"""Unit tests for physical messages."""
+
+from repro.comm.message import (
+    PHYSICAL_HEADER_BYTES,
+    MessageKind,
+    PhysicalMessage,
+)
+from tests.helpers import make_event
+
+
+class TestPhysicalMessage:
+    def test_serials_are_unique(self):
+        a = PhysicalMessage(0, 1, MessageKind.DATA)
+        b = PhysicalMessage(0, 1, MessageKind.DATA)
+        assert a.serial != b.serial
+
+    def test_data_size_sums_events(self):
+        events = (make_event(payload=(1, 2)), make_event(payload="abc", serial=1))
+        msg = PhysicalMessage(0, 1, MessageKind.DATA, events=events)
+        assert msg.size_bytes() == PHYSICAL_HEADER_BYTES + sum(
+            e.size_bytes() for e in events
+        )
+
+    def test_control_size_is_fixed(self):
+        token = PhysicalMessage(0, 1, MessageKind.GVT_TOKEN, control=object())
+        assert token.size_bytes() == PHYSICAL_HEADER_BYTES + 32
+
+    def test_min_event_time(self):
+        events = (
+            make_event(recv_time=30.0),
+            make_event(recv_time=10.0, serial=1),
+            make_event(recv_time=20.0, serial=2),
+        )
+        msg = PhysicalMessage(0, 1, MessageKind.DATA, events=events)
+        assert msg.min_event_time() == 10.0
+
+    def test_min_event_time_empty(self):
+        assert PhysicalMessage(0, 1, MessageKind.GVT_TOKEN).min_event_time() is None
+
+    def test_event_count(self):
+        msg = PhysicalMessage(0, 1, MessageKind.DATA, events=(make_event(),))
+        assert msg.event_count() == 1

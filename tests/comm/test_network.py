@@ -1,0 +1,112 @@
+"""Unit tests for the modelled Ethernet network."""
+
+import pytest
+
+from repro.cluster.costmodel import NetworkModel
+from repro.comm.message import MessageKind, PhysicalMessage
+from repro.comm.network import CHANNEL_EPSILON, Network, _jitter_unit
+from tests.helpers import make_event
+
+
+def make_network(model=None, sink=None):
+    deliveries = []
+
+    def deliver(dst, arrival, msg):
+        deliveries.append((dst, arrival, msg))
+        if sink:
+            sink(dst, arrival, msg)
+
+    return Network(model or NetworkModel(), deliver), deliveries
+
+
+def data_msg(src=0, dst=1, recv_time=10.0):
+    return PhysicalMessage(src, dst, MessageKind.DATA,
+                           events=(make_event(recv_time=recv_time),))
+
+
+class TestLatency:
+    def test_arrival_after_latency(self):
+        model = NetworkModel(base_latency=100.0, per_byte=1.0)
+        net, deliveries = make_network(model)
+        msg = data_msg()
+        arrival = net.send(msg, completion_clock=50.0)
+        assert arrival == pytest.approx(50.0 + 100.0 + msg.size_bytes())
+        assert deliveries[0][0] == 1
+
+    def test_bigger_messages_take_longer(self):
+        model = NetworkModel(per_byte=1.0)
+        net, _ = make_network(model)
+        small = net.send(data_msg(), 0.0)
+        big_msg = PhysicalMessage(
+            2, 3, MessageKind.DATA,
+            events=tuple(make_event(serial=i, payload="x" * 50) for i in range(5)),
+        )
+        big = net.send(big_msg, 0.0)
+        assert big > small
+
+    def test_jitter_is_deterministic(self):
+        model = NetworkModel(jitter=0.5)
+        net1, _ = make_network(model)
+        net2, _ = make_network(model)
+        m1 = data_msg()
+        m2 = PhysicalMessage(m1.src_lp, m1.dst_lp, MessageKind.DATA,
+                             events=m1.events, serial=m1.serial)
+        assert net1.send(m1, 0.0) == net2.send(m2, 0.0)
+
+    def test_jitter_unit_range(self):
+        for serial in range(200):
+            assert -1.0 <= _jitter_unit(0, 1, serial) <= 1.0
+
+
+class TestFIFO:
+    def test_same_channel_never_reorders(self):
+        # A later send with (jittered) lower latency must still arrive
+        # after the earlier send on the same channel.
+        model = NetworkModel(base_latency=100.0, per_byte=0.0, jitter=0.9)
+        net, deliveries = make_network(model)
+        for i in range(50):
+            net.send(data_msg(src=0, dst=1), completion_clock=float(i))
+        arrivals = [a for (_, a, _) in deliveries]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_distinct_channels_are_independent(self):
+        net, deliveries = make_network(NetworkModel(base_latency=10.0))
+        net.send(data_msg(src=0, dst=1), 0.0)
+        net.send(data_msg(src=2, dst=1), 0.0)
+        # both arrive at their own latency; no epsilon chaining needed
+        assert abs(deliveries[0][1] - deliveries[1][1]) < CHANNEL_EPSILON * 10
+
+
+class TestInFlightTracking:
+    def test_in_flight_until_delivered(self):
+        net, deliveries = make_network()
+        msg = data_msg(recv_time=42.0)
+        net.send(msg, 0.0)
+        assert net.in_flight_count() == 1
+        assert net.min_in_flight_time() == 42.0
+        net.on_delivered(msg)
+        assert net.in_flight_count() == 0
+        assert net.min_in_flight_time() is None
+
+    def test_min_over_multiple(self):
+        net, _ = make_network()
+        net.send(data_msg(recv_time=42.0), 0.0)
+        net.send(data_msg(src=2, dst=3, recv_time=7.0), 0.0)
+        assert net.min_in_flight_time() == 7.0
+
+    def test_stats(self):
+        net, _ = make_network()
+        msg = data_msg()
+        net.send(msg, 0.0)
+        assert net.messages_sent == 1
+        assert net.events_carried == 1
+        assert net.bytes_sent == msg.size_bytes()
+
+    def test_send_observer_sees_data_only(self):
+        net, _ = make_network()
+        seen = []
+        net.on_data_send = seen.append
+        net.send(data_msg(), 0.0)
+        net.send(PhysicalMessage(0, 1, MessageKind.GVT_TOKEN, control=1), 0.0)
+        assert len(seen) == 1
+        assert seen[0].kind is MessageKind.DATA

@@ -1,0 +1,109 @@
+"""Tests for the conservative (bounded-window) kernel."""
+
+import pytest
+
+from repro import SequentialSimulation
+from repro.apps.phold import PHOLDParams, build_phold
+from repro.apps.pingpong import build_pingpong
+from repro.apps.raid import RAIDParams, build_raid
+from repro.apps.smmp import SMMPParams, build_smmp
+from repro.conservative import ConservativeSimulation
+from repro.kernel.errors import ConfigurationError
+from tests.helpers import flatten
+
+
+class TestConstruction:
+    def test_needs_positive_lookahead(self):
+        with pytest.raises(ConfigurationError):
+            ConservativeSimulation(build_pingpong(5), lookahead=0.0)
+
+    def test_needs_objects(self):
+        with pytest.raises(ConfigurationError):
+            ConservativeSimulation([[]], lookahead=1.0)
+
+    def test_run_once(self):
+        sim = ConservativeSimulation(build_pingpong(5), lookahead=10.0)
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+
+class TestLookaheadContract:
+    def test_violating_send_raises(self):
+        # pingpong's delay is 10; declaring lookahead 20 must blow up
+        sim = ConservativeSimulation(build_pingpong(5, delay=10.0),
+                                     lookahead=20.0)
+        with pytest.raises(ConfigurationError, match="lookahead"):
+            sim.run()
+
+    def test_exact_lookahead_is_allowed(self):
+        sim = ConservativeSimulation(build_pingpong(10, delay=10.0),
+                                     lookahead=10.0)
+        stats = sim.run()
+        assert stats.committed_events == 10
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("app,builder,lookahead,kwargs", [
+        ("smmp", lambda: build_smmp(SMMPParams(requests_per_processor=25)),
+         1.0, {}),
+        ("raid", lambda: build_raid(RAIDParams(requests_per_source=20)),
+         5.0, {}),
+        ("phold", lambda: build_phold(PHOLDParams(n_objects=10, n_lps=4)),
+         5.0, {"end_time": 800.0}),
+    ])
+    def test_matches_sequential(self, app, builder, lookahead, kwargs):
+        seq = SequentialSimulation(flatten(builder()), record_trace=True,
+                                   **kwargs)
+        seq.run()
+        cons = ConservativeSimulation(builder(), lookahead=lookahead,
+                                      record_trace=True, **kwargs)
+        cons.run()
+        assert cons.sorted_trace() == seq.sorted_trace()
+
+    def test_never_rolls_back(self):
+        cons = ConservativeSimulation(
+            build_raid(RAIDParams(requests_per_source=20)), lookahead=5.0,
+            lp_speed_factors={1: 1.5, 2: 2.0, 3: 2.5},
+        )
+        stats = cons.run()
+        assert stats.rollbacks == 0
+        assert stats.efficiency == 1.0
+
+
+class TestBarrierCosts:
+    def test_skew_inflates_idle_time(self):
+        balanced = ConservativeSimulation(
+            build_smmp(SMMPParams(requests_per_processor=20)), lookahead=1.0
+        ).run()
+        skewed = ConservativeSimulation(
+            build_smmp(SMMPParams(requests_per_processor=20)), lookahead=1.0,
+            lp_speed_factors={1: 2.0, 2: 2.0, 3: 2.0},
+        ).run()
+        idle_balanced = sum(s.idle_time for s in balanced.per_lp.values())
+        idle_skewed = sum(s.idle_time for s in skewed.per_lp.values())
+        assert idle_skewed > idle_balanced
+        assert skewed.execution_time > balanced.execution_time
+
+    def test_larger_lookahead_means_fewer_rounds(self):
+        few = ConservativeSimulation(
+            build_phold(PHOLDParams(n_objects=8, n_lps=2, min_delay=20.0)),
+            lookahead=20.0, end_time=2_000.0,
+        )
+        few.run()
+        many = ConservativeSimulation(
+            build_phold(PHOLDParams(n_objects=8, n_lps=2, min_delay=20.0)),
+            lookahead=5.0, end_time=2_000.0,
+        )
+        many.run()
+        assert few.rounds < many.rounds
+
+    def test_round_guard(self):
+        from repro.kernel.errors import TimeWarpError
+
+        sim = ConservativeSimulation(
+            build_phold(PHOLDParams(n_objects=6, n_lps=2)),
+            lookahead=5.0, end_time=5_000.0, max_rounds=10,
+        )
+        with pytest.raises(TimeWarpError, match="rounds"):
+            sim.run()

@@ -1,0 +1,99 @@
+"""Unit tests for the control-system data filters."""
+
+import pytest
+
+from repro.core.filters import EWMA, MovingAverage, SampleWindow
+from repro.kernel.errors import ConfigurationError
+
+
+class TestSampleWindow:
+    def test_requires_positive_depth(self):
+        with pytest.raises(ConfigurationError):
+            SampleWindow(0)
+
+    def test_ratio_divides_by_full_depth(self):
+        window = SampleWindow(4)
+        window.record(True)
+        # one hit out of depth 4, even though only 1 sample seen
+        assert window.ratio() == 0.25
+
+    def test_ratio_slides(self):
+        window = SampleWindow(3)
+        for value in (True, True, True):
+            window.record(value)
+        assert window.ratio() == 1.0
+        window.record(False)  # evicts a True
+        assert window.ratio() == pytest.approx(2 / 3)
+
+    def test_eviction_of_false_keeps_count(self):
+        window = SampleWindow(2)
+        window.record(False)
+        window.record(True)
+        window.record(True)  # evicts the False
+        assert window.ratio() == 1.0
+
+    def test_consecutive_false_streak(self):
+        window = SampleWindow(8)
+        for value in (False, False, True, False, False, False):
+            window.record(value)
+        assert window.consecutive_false == 3
+        window.record(True)
+        assert window.consecutive_false == 0
+
+    def test_warmup_and_counts(self):
+        window = SampleWindow(2)
+        assert not window.is_warm()
+        window.record(True)
+        window.record(False)
+        assert window.is_warm()
+        assert window.samples_seen == 2
+        assert len(window) == 2
+
+
+class TestMovingAverage:
+    def test_requires_positive_depth(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverage(0)
+
+    def test_empty_value_is_zero(self):
+        assert MovingAverage(3).value() == 0.0
+
+    def test_mean_over_window(self):
+        avg = MovingAverage(3)
+        for x in (1.0, 2.0, 3.0, 4.0):
+            avg.record(x)
+        assert avg.value() == pytest.approx(3.0)
+
+    def test_partial_window_mean(self):
+        avg = MovingAverage(10)
+        avg.record(2.0)
+        avg.record(4.0)
+        assert avg.value() == pytest.approx(3.0)
+        assert not avg.is_warm()
+
+
+class TestEWMA:
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EWMA(0.0)
+        with pytest.raises(ConfigurationError):
+            EWMA(1.5)
+
+    def test_first_sample_primes(self):
+        ewma = EWMA(0.5)
+        assert not ewma.is_warm()
+        ewma.record(10.0)
+        assert ewma.is_warm()
+        assert ewma.value() == 10.0
+
+    def test_weighting(self):
+        ewma = EWMA(0.5)
+        ewma.record(10.0)
+        ewma.record(20.0)
+        assert ewma.value() == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last(self):
+        ewma = EWMA(1.0)
+        ewma.record(3.0)
+        ewma.record(7.0)
+        assert ewma.value() == 7.0

@@ -1,0 +1,72 @@
+"""Unit tests for dead-zone thresholding (Figure 3 of the paper)."""
+
+import pytest
+
+from repro.core.thresholding import DeadZoneThreshold
+from repro.kernel.errors import ConfigurationError
+
+
+def make(lower=0.2, upper=0.45, initial="low"):
+    return DeadZoneThreshold(lower, upper, low="low", high="high", initial=initial)
+
+
+class TestValidation:
+    def test_lower_must_not_exceed_upper(self):
+        with pytest.raises(ConfigurationError):
+            make(lower=0.5, upper=0.4)
+
+    def test_initial_must_be_an_output(self):
+        with pytest.raises(ConfigurationError):
+            DeadZoneThreshold(0.2, 0.4, low="a", high="b", initial="c")
+
+
+class TestSwitching:
+    def test_crossing_upper_switches_high(self):
+        t = make()
+        assert t.update(0.5) == "high"
+        assert t.transitions == 1
+
+    def test_crossing_lower_switches_low(self):
+        t = make(initial="high")
+        assert t.update(0.1) == "low"
+
+    def test_dead_zone_holds_previous_output(self):
+        t = make()
+        t.update(0.5)  # -> high
+        assert t.update(0.3) == "high"  # in dead zone: unchanged
+        assert t.update(0.44) == "high"
+        assert t.update(0.21) == "high"
+        assert t.transitions == 1
+
+    def test_hysteresis_prevents_thrashing(self):
+        t = make()
+        outputs = [t.update(v) for v in (0.5, 0.4, 0.5, 0.4, 0.5)]
+        # oscillation inside/above the dead zone never drops back to low
+        assert outputs == ["high"] * 5
+        assert t.transitions == 1
+
+    def test_no_transition_counted_when_already_there(self):
+        t = make(initial="low")
+        t.update(0.05)
+        assert t.transitions == 0
+
+    def test_single_threshold_eliminates_dead_zone(self):
+        t = make(lower=0.4, upper=0.4)
+        assert t.dead_zone_width == 0.0
+        assert t.update(0.41) == "high"
+        assert t.update(0.39) == "low"
+        assert t.transitions == 2
+
+    def test_boundary_values_hold(self):
+        # Comparisons are strict ("rises over" / "falls below"): a value
+        # exactly at a threshold stays in the dead zone.
+        t = make()
+        assert t.update(0.45) == "low"
+        t2 = make(initial="high")
+        assert t2.update(0.2) == "high"
+
+    def test_exact_single_threshold_value_is_stable(self):
+        t = make(lower=0.4, upper=0.4)
+        assert t.update(0.4) == "low"
+        t.update(0.5)
+        assert t.update(0.4) == "high"

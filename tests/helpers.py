@@ -1,0 +1,50 @@
+"""Shared test helpers: canned runs and trace comparison."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro import SequentialSimulation, SimulationConfig, TimeWarpSimulation
+from repro.kernel.event import Event
+from repro.kernel.simobject import SimulationObject
+
+
+def flatten(partition: Sequence[Sequence[SimulationObject]]) -> list[SimulationObject]:
+    return [obj for group in partition for obj in group]
+
+
+def sequential_trace(build: Callable[[], list[list[SimulationObject]]],
+                     **kwargs: Any) -> list:
+    seq = SequentialSimulation(flatten(build()), record_trace=True, **kwargs)
+    seq.run()
+    return seq.sorted_trace()
+
+
+def run_tw(build: Callable[[], list[list[SimulationObject]]],
+           **config_kwargs: Any) -> TimeWarpSimulation:
+    config = SimulationConfig(record_trace=True, **config_kwargs)
+    sim = TimeWarpSimulation(build(), config)
+    sim.run_stats = sim.run()  # type: ignore[attr-defined]
+    return sim
+
+
+def assert_equivalent(build: Callable[[], list[list[SimulationObject]]],
+                      end_time: float = float("inf"),
+                      **config_kwargs: Any) -> TimeWarpSimulation:
+    """Run Time Warp under the given config and compare against sequential."""
+    expected = sequential_trace(build, end_time=end_time)
+    if end_time != float("inf"):
+        config_kwargs.setdefault("end_time", end_time)
+    sim = run_tw(build, **config_kwargs)
+    assert sim.sorted_trace() == expected, (
+        f"committed trace diverged: {len(sim.sorted_trace())} events committed "
+        f"vs {len(expected)} sequential"
+    )
+    return sim
+
+
+def make_event(sender: int = 0, receiver: int = 1, send_time: float = 0.0,
+               recv_time: float = 10.0, payload: Any = "x",
+               serial: int = 0, sign: int = 1) -> Event:
+    return Event(sender=sender, receiver=receiver, send_time=send_time,
+                 recv_time=recv_time, payload=payload, serial=serial, sign=sign)

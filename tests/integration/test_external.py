@@ -1,0 +1,96 @@
+"""Integration: external runtime adjustments (paper reference [26])."""
+
+import pytest
+
+from repro import Mode, NetworkModel, SimulationConfig, TimeWarpSimulation
+from repro.apps.raid import RAIDParams, build_raid
+from repro.core.external import (
+    set_aggregation_window,
+    set_cancellation_mode,
+    set_checkpoint_interval,
+    set_optimism_window,
+)
+from repro.kernel.errors import ConfigurationError
+from tests.helpers import assert_equivalent
+
+
+def raid():
+    return build_raid(RAIDParams(requests_per_source=30))
+
+
+SKEW = {1: 1.1, 2: 1.2, 3: 1.3}
+
+
+class TestAdjustmentHelpers:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            set_checkpoint_interval("x", 0)
+        with pytest.raises(ConfigurationError):
+            set_aggregation_window(0, -1.0)
+        with pytest.raises(ConfigurationError):
+            set_optimism_window(0.0)
+
+    def test_unknown_object_fails_at_apply_time(self):
+        config = SimulationConfig(
+            external_script=[(1_000.0, set_checkpoint_interval("ghost", 4))]
+        )
+        sim = TimeWarpSimulation(raid(), config)
+        with pytest.raises(ConfigurationError, match="ghost"):
+            sim.run()
+
+
+class TestAdjustmentsApply:
+    def test_checkpoint_interval_changes(self):
+        config = SimulationConfig(
+            lp_speed_factors=SKEW,
+            external_script=[(50_000.0, set_checkpoint_interval("disk-0", 32))],
+        )
+        sim = TimeWarpSimulation(raid(), config)
+        sim.run()
+        ctx = next(ctx for lp in sim.lps for ctx in lp.members.values()
+                   if ctx.obj.name == "disk-0")
+        assert ctx.chi == 32
+        # fewer saves than the save-every-event siblings
+        other = next(ctx for lp in sim.lps for ctx in lp.members.values()
+                     if ctx.obj.name == "disk-1")
+        assert ctx.stats.state_saves < other.stats.state_saves
+
+    def test_cancellation_mode_switch(self):
+        config = SimulationConfig(
+            lp_speed_factors=SKEW,
+            external_script=[
+                (20_000.0, set_cancellation_mode(f"disk-{i}", Mode.LAZY))
+                for i in range(8)
+            ],
+        )
+        sim = TimeWarpSimulation(raid(), config)
+        stats = sim.run()
+        modes = [ctx.mode for lp in sim.lps for ctx in lp.members.values()
+                 if ctx.obj.name.startswith("disk")]
+        assert all(m is Mode.LAZY for m in modes)
+        lazy_hits = sum(o.lazy_hits for o in stats.per_object.values())
+        assert lazy_hits > 0  # the switch actually took effect mid-run
+
+    def test_aggregation_window_resize(self):
+        config = SimulationConfig(
+            lp_speed_factors=SKEW,
+            external_script=[(10_000.0, set_aggregation_window(0, 5_000.0))],
+        )
+        sim = TimeWarpSimulation(raid(), config)
+        sim.run()
+        assert sim.lps[0].comm.window == 5_000.0
+        assert sim.lps[1].comm.window == 0.0  # others untouched
+
+
+class TestTransparency:
+    def test_scripted_run_commits_sequential_trace(self):
+        script = [
+            (20_000.0, set_cancellation_mode("disk-0", Mode.LAZY)),
+            (40_000.0, set_checkpoint_interval("fork-1", 8)),
+            (60_000.0, set_aggregation_window(2, 2_000.0)),
+            (80_000.0, set_optimism_window(500.0)),
+        ]
+        assert_equivalent(
+            raid, lp_speed_factors=SKEW, network=NetworkModel(jitter=0.4),
+            external_script=script,
+        )

@@ -1,0 +1,107 @@
+"""Unit tests for cancellation strategies and the comparison buffer."""
+
+from repro.kernel.cancellation import (
+    ComparisonBuffer,
+    Mode,
+    StaticCancellation,
+    aggressive,
+    lazy,
+)
+from repro.kernel.event import SentRecord
+from tests.helpers import make_event
+
+
+def record_for(recv_time=10.0, payload="p", cause_time=1.0, serial=0):
+    event = make_event(recv_time=recv_time, payload=payload, serial=serial)
+    cause = make_event(recv_time=cause_time, serial=1000 + serial)
+    return SentRecord(event=event, cause_key=cause.key())
+
+
+class TestComparisonBuffer:
+    def test_match_consumes_equal_content(self):
+        buf = ComparisonBuffer()
+        rec = record_for(payload=("a", 1))
+        buf.park(rec, lazy=True)
+        regenerated = make_event(recv_time=10.0, payload=("a", 1), serial=77)
+        entry = buf.match(regenerated)
+        assert entry is not None and entry.record is rec
+        assert not buf.pending()
+
+    def test_match_requires_equal_recv_time(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(recv_time=10.0), lazy=True)
+        assert buf.match(make_event(recv_time=11.0, payload="p")) is None
+        assert buf.pending()
+
+    def test_match_is_fifo_among_equal_content(self):
+        buf = ComparisonBuffer()
+        first = record_for(serial=1)
+        second = record_for(serial=2)
+        buf.park(first, lazy=True)
+        buf.park(second, lazy=True)
+        assert buf.match(make_event(payload="p")).record is first
+        assert buf.match(make_event(payload="p")).record is second
+
+    def test_expire_through_resolves_older_causes(self):
+        buf = ComparisonBuffer()
+        early = record_for(cause_time=1.0, serial=1)
+        late = record_for(cause_time=5.0, serial=2)
+        buf.park(early, lazy=True)
+        buf.park(late, lazy=False)
+        expired = buf.expire_through(make_event(recv_time=3.0, serial=9).key())
+        assert [e.record for e in expired] == [early]
+        assert len(buf) == 1
+
+    def test_expired_entries_cannot_match(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(cause_time=1.0), lazy=True)
+        buf.expire_all()
+        assert buf.match(make_event(payload="p")) is None
+
+    def test_matched_entries_not_reported_by_expire(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(), lazy=True)
+        buf.match(make_event(payload="p"))
+        assert buf.expire_all() == []
+
+    def test_min_live_time_counts_only_lazy(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(recv_time=50.0), lazy=False)
+        assert buf.min_live_time() is None
+        buf.park(record_for(recv_time=30.0, serial=1), lazy=True)
+        buf.park(record_for(recv_time=20.0, serial=2), lazy=True)
+        assert buf.min_live_time() == 20.0
+
+    def test_min_live_time_drops_after_resolution(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(recv_time=20.0), lazy=True)
+        buf.match(make_event(recv_time=20.0, payload="p"))
+        assert buf.min_live_time() is None
+
+    def test_len_counts_unresolved(self):
+        buf = ComparisonBuffer()
+        buf.park(record_for(serial=1), lazy=True)
+        buf.park(record_for(serial=2, payload="q"), lazy=True)
+        assert len(buf) == 2
+        buf.match(make_event(payload="q"))
+        assert len(buf) == 1
+
+
+class TestStaticCancellation:
+    def test_factories(self):
+        assert aggressive().initial_mode() is Mode.AGGRESSIVE
+        assert lazy().initial_mode() is Mode.LAZY
+
+    def test_no_control_period(self):
+        assert aggressive().period is None
+
+    def test_monitoring_defaults_off(self):
+        assert not aggressive().monitoring
+        assert StaticCancellation(Mode.AGGRESSIVE, monitor=True).monitoring
+
+    def test_record_tallies(self):
+        policy = StaticCancellation(Mode.LAZY)
+        policy.record(True)
+        policy.record(True)
+        policy.record(False)
+        assert (policy.hits, policy.misses) == (2, 1)

@@ -1,0 +1,49 @@
+"""Unit tests for checkpoint policies and the accounting window."""
+
+import pytest
+
+from repro.kernel.checkpointing import (
+    MAX_INTERVAL,
+    CheckpointWindow,
+    StaticCheckpoint,
+    every_event,
+)
+from repro.kernel.errors import ConfigurationError
+
+
+class TestCheckpointWindow:
+    def test_ec_is_save_plus_coast(self):
+        window = CheckpointWindow(save_cost=10.0, coast_cost=5.0)
+        assert window.ec == 15.0
+
+    def test_reset_zeroes_everything(self):
+        window = CheckpointWindow(
+            events=5, saves=2, save_cost=10.0, coast_events=3,
+            coast_cost=4.0, rollbacks=1,
+        )
+        window.reset()
+        assert window.ec == 0.0
+        assert window.events == window.saves == window.rollbacks == 0
+        assert window.coast_events == 0
+
+    def test_snapshot_is_independent(self):
+        window = CheckpointWindow(events=5, save_cost=1.0)
+        frozen = window.snapshot()
+        window.reset()
+        assert frozen.events == 5
+        assert frozen.save_cost == 1.0
+
+
+class TestStaticCheckpoint:
+    def test_default_saves_every_event(self):
+        assert every_event().initial_interval() == 1
+
+    def test_interval_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            StaticCheckpoint(0)
+        with pytest.raises(ConfigurationError):
+            StaticCheckpoint(MAX_INTERVAL + 1)
+        assert StaticCheckpoint(MAX_INTERVAL).initial_interval() == MAX_INTERVAL
+
+    def test_no_control_period(self):
+        assert StaticCheckpoint(4).period is None

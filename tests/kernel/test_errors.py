@@ -1,0 +1,66 @@
+"""Tests for error wrapping: application failures carry simulation context."""
+
+import pytest
+
+from repro import SequentialSimulation, SimulationConfig, TimeWarpSimulation
+from repro.kernel.errors import ApplicationError, TimeWarpError
+from repro.kernel.simobject import SimulationObject
+from repro.kernel.state import RecordState
+from dataclasses import dataclass
+
+
+@dataclass
+class S(RecordState):
+    n: int = 0
+
+
+class Exploder(SimulationObject):
+    """Processes a few events fine, then raises."""
+
+    def __init__(self, name="boom", fuse=3):
+        super().__init__(name)
+        self.fuse = fuse
+
+    def initial_state(self):
+        return S()
+
+    def initialize(self):
+        self.send_event(self.name, 1.0, 0)
+
+    def execute_process(self, payload):
+        if payload >= self.fuse:
+            raise ValueError("kaboom")
+        self.send_event(self.name, 1.0, payload + 1)
+
+
+class TestApplicationErrorWrapping:
+    def test_timewarp_wraps_with_context(self):
+        sim = TimeWarpSimulation([[Exploder()]])
+        with pytest.raises(ApplicationError) as excinfo:
+            sim.run()
+        err = excinfo.value
+        assert err.obj_name == "boom"
+        assert err.virtual_time == 4.0
+        assert err.payload == 3
+        assert not err.coasting
+        assert isinstance(err.__cause__, ValueError)
+        assert "boom" in str(err) and "t=4.0" in str(err)
+
+    def test_sequential_wraps_identically(self):
+        seq = SequentialSimulation([Exploder()])
+        with pytest.raises(ApplicationError) as excinfo:
+            seq.run()
+        assert excinfo.value.payload == 3
+
+    def test_kernel_errors_pass_through_unwrapped(self):
+        class BadSender(Exploder):
+            def execute_process(self, payload):
+                self.send_event("nobody", 1.0, None)
+
+        sim = TimeWarpSimulation([[BadSender()]])
+        with pytest.raises(TimeWarpError) as excinfo:
+            sim.run()
+        assert not isinstance(excinfo.value, ApplicationError)
+
+    def test_is_a_timewarp_error(self):
+        assert issubclass(ApplicationError, TimeWarpError)

@@ -1,0 +1,124 @@
+"""Unit tests for the event layer: total order, anti-messages, sizes."""
+
+import pytest
+
+from repro.kernel.event import (
+    EVENT_HEADER_BYTES,
+    Event,
+    EventId,
+    EventKey,
+    payload_size_bytes,
+)
+from tests.helpers import make_event
+
+
+class TestEventKey:
+    def test_orders_by_recv_time_first(self):
+        early = make_event(recv_time=5.0, sender=9, serial=9)
+        late = make_event(recv_time=6.0, sender=0, serial=0)
+        assert early.key() < late.key()
+
+    def test_ties_broken_by_receiver_then_sender(self):
+        a = make_event(recv_time=5.0, receiver=1, sender=2)
+        b = make_event(recv_time=5.0, receiver=2, sender=1)
+        assert a.key() < b.key()
+        c = make_event(recv_time=5.0, receiver=1, sender=1)
+        assert c.key() < a.key()
+
+    def test_ties_broken_by_send_time_then_serial(self):
+        a = make_event(recv_time=5.0, send_time=1.0, serial=7)
+        b = make_event(recv_time=5.0, send_time=2.0, serial=0)
+        assert a.key() < b.key()
+        c = make_event(recv_time=5.0, send_time=1.0, serial=8)
+        assert a.key() < c.key()
+
+    def test_distinct_events_have_distinct_keys(self):
+        a = make_event(serial=0)
+        b = make_event(serial=1)
+        assert a.key() != b.key()
+
+    def test_key_is_a_namedtuple_of_the_event_fields(self):
+        event = make_event(sender=3, receiver=4, send_time=1.5, recv_time=2.5,
+                           serial=11)
+        assert event.key() == EventKey(2.5, 4, 3, 1.5, 11)
+
+
+class TestAntiMessages:
+    def test_anti_shares_identity(self):
+        event = make_event(serial=42)
+        anti = event.anti_message()
+        assert anti.event_id() == event.event_id() == EventId(0, 42)
+        assert anti.sign == -1
+        assert anti.is_anti and not event.is_anti
+
+    def test_anti_carries_no_payload(self):
+        anti = make_event(payload=("big", "payload")).anti_message()
+        assert anti.payload is None
+
+    def test_anti_has_same_key_coordinates(self):
+        event = make_event(recv_time=9.0, send_time=4.0)
+        anti = event.anti_message()
+        assert anti.recv_time == event.recv_time
+        assert anti.send_time == event.send_time
+
+    def test_cannot_negate_an_anti_message(self):
+        anti = make_event().anti_message()
+        with pytest.raises(ValueError):
+            anti.anti_message()
+
+
+class TestContent:
+    def test_content_ignores_serial_only(self):
+        a = make_event(send_time=1.0, serial=1, payload=(1, 2))
+        b = make_event(send_time=1.0, serial=9, payload=(1, 2))
+        assert a.content() == b.content()
+
+    def test_content_distinguishes_send_time(self):
+        # Send time participates in the total order among simultaneous
+        # events, so lazy matching must treat a shifted send as a miss.
+        a = make_event(send_time=1.0, payload=(1, 2))
+        b = make_event(send_time=2.0, payload=(1, 2))
+        assert a.content() != b.content()
+
+    def test_content_distinguishes_receiver_time_payload(self):
+        base = make_event(payload=(1,))
+        assert base.content() != make_event(receiver=5, payload=(1,)).content()
+        assert base.content() != make_event(recv_time=99.0, payload=(1,)).content()
+        assert base.content() != make_event(payload=(2,)).content()
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 0),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            ("abcd", 4),
+            (b"abc", 3),
+            ((1, 2.0, "xy"), 18),
+        ],
+    )
+    def test_payload_sizes(self, payload, expected):
+        assert payload_size_bytes(payload) == expected
+
+    def test_nested_tuples(self):
+        assert payload_size_bytes(((1, 2), (3,))) == 24
+
+    def test_unknown_type_gets_flat_charge(self):
+        class Weird:
+            pass
+
+        assert payload_size_bytes(Weird()) == 32
+
+    def test_object_with_size_bytes_hook(self):
+        class Sized:
+            def size_bytes(self):
+                return 100
+
+        assert payload_size_bytes(Sized()) == 100
+
+    def test_event_size_includes_header(self):
+        event = make_event(payload=(1, 2))
+        assert event.size_bytes() == EVENT_HEADER_BYTES + 16

@@ -1,0 +1,99 @@
+"""Tests for the TimeWarpSimulation facade."""
+
+import pytest
+
+from repro import SimulationConfig, TimeWarpSimulation
+from repro.kernel.errors import ConfigurationError
+from repro.apps.pingpong import Player, build_pingpong
+
+
+class TestConstruction:
+    def test_rejects_empty_partition(self):
+        with pytest.raises(ConfigurationError):
+            TimeWarpSimulation([[]])
+
+    def test_rejects_duplicate_names(self):
+        a = Player("same", "same", 1)
+        b = Player("same", "same", 1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            TimeWarpSimulation([[a], [b]])
+
+    def test_object_named_resolves(self):
+        sim = TimeWarpSimulation(build_pingpong(5))
+        assert sim.object_named("ping").name == "ping"
+        with pytest.raises(ConfigurationError):
+            sim.object_named("nope")
+
+    def test_unknown_send_target_raises_at_runtime(self):
+        bad = Player("solo", "ghost", 3, serve=True)
+        sim = TimeWarpSimulation([[bad]])
+        with pytest.raises(ConfigurationError, match="ghost"):
+            sim.run()
+
+
+class TestRun:
+    def test_run_once_only(self):
+        sim = TimeWarpSimulation(build_pingpong(5))
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_stats_are_assembled(self):
+        sim = TimeWarpSimulation(build_pingpong(20))
+        stats = sim.run()
+        assert stats.committed_events == 20
+        assert stats.executed_events >= 20
+        assert stats.execution_time > 0
+        assert set(stats.per_object) == {"ping", "pong"}
+        assert stats.per_object["ping"].events_committed == 10
+        assert len(stats.per_lp) == 2
+        assert stats.physical_messages >= 20
+
+    def test_trace_requires_flag(self):
+        sim = TimeWarpSimulation(build_pingpong(5))
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.sorted_trace()
+
+    def test_trace_records_commits(self):
+        sim = TimeWarpSimulation(
+            build_pingpong(6), SimulationConfig(record_trace=True)
+        )
+        sim.run()
+        trace = sim.sorted_trace()
+        assert len(trace) == 6
+        recv_times, receivers, senders, send_times, payloads = zip(*trace)
+        assert list(payloads) == [0, 1, 2, 3, 4, 5]
+        assert set(receivers) == {"ping", "pong"}
+
+    def test_end_time_horizon(self):
+        sim = TimeWarpSimulation(
+            build_pingpong(100, delay=10.0), SimulationConfig(end_time=55.0)
+        )
+        stats = sim.run()
+        # events at t=10..50 execute; later ones never do
+        assert stats.committed_events == 5
+
+    def test_single_lp_partition_runs(self):
+        sim = TimeWarpSimulation(build_pingpong(10, split=False))
+        stats = sim.run()
+        assert stats.committed_events == 10
+        assert stats.physical_messages == 0
+
+    def test_summary_is_a_string(self):
+        stats = TimeWarpSimulation(build_pingpong(5)).run()
+        text = stats.summary()
+        assert "committed=5" in text
+        assert "ev/s" in text
+
+
+class TestDerivedStats:
+    def test_rates_and_efficiency(self):
+        stats = TimeWarpSimulation(build_pingpong(10)).run()
+        assert stats.efficiency == pytest.approx(
+            stats.committed_events / stats.executed_events
+        )
+        assert stats.committed_events_per_second == pytest.approx(
+            stats.committed_events / (stats.execution_time / 1e6)
+        )
+        assert 0 <= stats.rollback_frequency <= 1

@@ -1,0 +1,91 @@
+"""Unit tests for application state: copy semantics, sizes, snapshots."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.kernel.state import RecordState, SavedState
+from tests.helpers import make_event
+
+
+@dataclass
+class DemoState(RecordState):
+    count: int = 0
+    name: str = "x"
+    values: list = field(default_factory=list)
+    table: dict = field(default_factory=dict)
+    tags: set = field(default_factory=set)
+
+
+@dataclass
+class NestedState(RecordState):
+    inner: DemoState = field(default_factory=DemoState)
+    flag: bool = False
+
+
+class TestRecordStateCopy:
+    def test_copy_is_deep_for_containers(self):
+        state = DemoState(count=1, values=[1, [2]], table={"a": [3]}, tags={4})
+        clone = state.copy()
+        clone.values.append(9)
+        clone.table["a"].append(9)
+        clone.tags.add(9)
+        assert state.values == [1, [2]]
+        assert state.table == {"a": [3]}
+        assert state.tags == {4}
+
+    def test_copy_preserves_values(self):
+        state = DemoState(count=3, name="abc", values=[1, 2], table={"k": 1})
+        assert state.copy() == state
+
+    def test_nested_record_states_are_copied(self):
+        state = NestedState(inner=DemoState(count=5))
+        clone = state.copy()
+        clone.inner.count = 99
+        assert state.inner.count == 5
+
+    def test_equality_is_by_value_and_type(self):
+        assert DemoState(count=1) == DemoState(count=1)
+        assert DemoState(count=1) != DemoState(count=2)
+
+        @dataclass
+        class OtherState(RecordState):
+            count: int = 1
+
+        assert DemoState(count=1).__eq__(OtherState(count=1)) is NotImplemented
+
+    def test_uncopyable_field_raises(self):
+        @dataclass
+        class Bad(RecordState):
+            gen: object = None
+
+        bad = Bad(gen=(i for i in range(3)))
+        with pytest.raises(TypeError, match="not copyable"):
+            bad.copy()
+
+
+class TestRecordStateSize:
+    def test_size_counts_fields(self):
+        empty = DemoState()
+        assert empty.size_bytes() > 0
+        bigger = DemoState(values=[0] * 100)
+        assert bigger.size_bytes() > empty.size_bytes() + 700
+
+    def test_size_grows_with_dict(self):
+        assert (
+            DemoState(table={i: i for i in range(10)}).size_bytes()
+            > DemoState().size_bytes()
+        )
+
+
+class TestSavedState:
+    def test_initial_snapshot_precedes_everything(self):
+        snap = SavedState(last_key=None, lvt=0.0, event_count=0, state=DemoState())
+        assert snap.precedes(make_event(recv_time=0.0).key())
+
+    def test_precedes_is_strict(self):
+        key = make_event(recv_time=5.0).key()
+        snap = SavedState(last_key=key, lvt=5.0, event_count=1, state=DemoState())
+        assert not snap.precedes(key)
+        assert snap.precedes(make_event(recv_time=5.5).key())
+        assert not snap.precedes(make_event(recv_time=4.5).key())

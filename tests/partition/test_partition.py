@@ -1,0 +1,148 @@
+"""Tests for profiling-based model partitioning."""
+
+import pytest
+
+from repro import NetworkModel, SimulationConfig, TimeWarpSimulation
+from repro.apps.pingpong import build_pingpong
+from repro.apps.raid import RAIDParams, build_raid
+from repro.apps.smmp import SMMPParams, build_smmp
+from repro.kernel.errors import ConfigurationError
+from repro.partition import (
+    CommGraph,
+    apply_assignment,
+    greedy_growth,
+    kernighan_lin,
+    partition_quality,
+    profile_model,
+    round_robin,
+)
+from tests.helpers import flatten, sequential_trace
+
+
+@pytest.fixture(scope="module")
+def smmp_graph():
+    params = SMMPParams(requests_per_processor=20)
+    return params, profile_model(flatten(build_smmp(params)))
+
+
+class TestCommGraph:
+    def test_add_message_is_symmetric(self):
+        g = CommGraph(objects=["a", "b"])
+        g.add_message("a", "b", 3)
+        g.add_message("b", "a", 2)
+        assert g.edge_weight("a", "b") == 5
+        assert g.edge_weight("b", "a") == 5
+
+    def test_self_messages_ignored(self):
+        g = CommGraph(objects=["a"])
+        g.add_message("a", "a", 5)
+        assert g.total_weight() == 0
+
+    def test_cut_weight(self):
+        g = CommGraph(objects=["a", "b", "c"])
+        g.add_message("a", "b", 10)
+        g.add_message("b", "c", 1)
+        assert g.cut_weight({"a": 0, "b": 0, "c": 1}) == 1
+        assert g.cut_weight({"a": 0, "b": 1, "c": 1}) == 10
+
+    def test_neighbours(self):
+        g = CommGraph(objects=["a", "b", "c"])
+        g.add_message("a", "b", 2)
+        g.add_message("c", "a", 7)
+        assert g.neighbours("a") == {"b": 2, "c": 7}
+
+
+class TestProfiling:
+    def test_profile_counts_messages(self, smmp_graph):
+        params, graph = smmp_graph
+        assert len(graph.objects) == params.n_objects
+        assert graph.total_weight() > 0
+        # the pipeline edges must be heavy: src-0 <-> cache-0
+        assert graph.edge_weight("src-0", "cache-0") > 0
+
+    def test_loads_cover_all_objects(self, smmp_graph):
+        _, graph = smmp_graph
+        assert set(graph.loads) == set(graph.objects)
+
+    def test_profile_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            profile_model([])
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", [round_robin, greedy_growth,
+                                          kernighan_lin])
+    def test_assignment_is_complete_and_balanced(self, smmp_graph, strategy):
+        _, graph = smmp_graph
+        assignment = strategy(graph, 4)
+        assert set(assignment) == set(graph.objects)
+        assert set(assignment.values()) == {0, 1, 2, 3}
+        quality = partition_quality(graph, assignment)
+        assert quality["imbalance"] < 1.6
+
+    def test_locality_strategies_beat_round_robin(self, smmp_graph):
+        _, graph = smmp_graph
+        rr = partition_quality(graph, round_robin(graph, 4))["cut_fraction"]
+        greedy = partition_quality(graph, greedy_growth(graph, 4))["cut_fraction"]
+        kl = partition_quality(graph, kernighan_lin(graph, 4))["cut_fraction"]
+        assert greedy < rr / 2
+        assert kl < rr / 2
+
+    def test_too_many_lps_rejected(self):
+        g = CommGraph(objects=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            round_robin(g, 3)
+
+    def test_single_lp(self, smmp_graph):
+        _, graph = smmp_graph
+        assignment = greedy_growth(graph, 1)
+        assert set(assignment.values()) == {0}
+
+
+class TestApplyAssignment:
+    def test_materializes_partition(self):
+        objects = flatten(build_pingpong(4))
+        partition = apply_assignment(objects, {"ping": 0, "pong": 1}, 2)
+        assert [o.name for o in partition[0]] == ["ping"]
+        assert [o.name for o in partition[1]] == ["pong"]
+
+    def test_missing_object_rejected(self):
+        objects = flatten(build_pingpong(4))
+        with pytest.raises(ConfigurationError, match="missing"):
+            apply_assignment(objects, {"ping": 0}, 2)
+
+    def test_empty_lp_rejected(self):
+        objects = flatten(build_pingpong(4))
+        with pytest.raises(ConfigurationError, match="empty"):
+            apply_assignment(objects, {"ping": 0, "pong": 0}, 2)
+
+
+class TestEndToEnd:
+    def test_auto_partitioned_run_is_equivalent(self):
+        params = RAIDParams(requests_per_source=20)
+        expected = sequential_trace(lambda: build_raid(params))
+        graph = profile_model(flatten(build_raid(params)))
+        assignment = greedy_growth(graph, 4)
+        partition = apply_assignment(flatten(build_raid(params)), assignment, 4)
+        config = SimulationConfig(
+            record_trace=True, lp_speed_factors={1: 1.2, 2: 1.4, 3: 1.6},
+            network=NetworkModel(jitter=0.4),
+        )
+        sim = TimeWarpSimulation(partition, config)
+        sim.run()
+        assert sim.sorted_trace() == expected
+
+    def test_better_cut_means_fewer_messages(self):
+        params = SMMPParams(requests_per_processor=25)
+        graph = profile_model(flatten(build_smmp(params)))
+        results = {}
+        for name, strategy in (("rr", round_robin), ("greedy", greedy_growth)):
+            partition = apply_assignment(
+                flatten(build_smmp(params)), strategy(graph, 4), 4
+            )
+            stats = TimeWarpSimulation(partition, SimulationConfig()).run()
+            results[name] = stats
+        assert (results["greedy"].physical_messages
+                < results["rr"].physical_messages / 2)
+        assert (results["greedy"].execution_time
+                < results["rr"].execution_time)

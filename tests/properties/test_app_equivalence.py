@@ -1,0 +1,114 @@
+"""Property: SMMP and RAID commit their sequential traces for random
+model parameterizations and kernel configurations.
+
+The PHOLD property test (test_kernel_equivalence.py) explores kernel
+configurations; this one additionally randomizes the *applications*
+themselves — hit ratios, write fractions, bank/disk counts, pipeline
+depths — so model-parameter edge cases (zero writes, hit ratio 1.0,
+single-bank contention) hit the kernel too.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DynamicCancellation,
+    DynamicCheckpoint,
+    FixedWindow,
+    Mode,
+    NetworkModel,
+    SequentialSimulation,
+    SimulationConfig,
+    StaticCancellation,
+    TimeWarpSimulation,
+)
+from repro.apps.raid import RAIDParams, build_raid
+from repro.apps.smmp import SMMPParams, build_smmp
+from tests.helpers import flatten
+
+
+@st.composite
+def smmp_params(draw):
+    n_lps = draw(st.sampled_from([2, 4]))
+    return SMMPParams(
+        n_processors=draw(st.sampled_from([4, 8, 16])),
+        n_lps=n_lps,
+        n_banks=draw(st.sampled_from([4, 8, 16])) * n_lps // 2 * 2,
+        requests_per_processor=draw(st.integers(5, 40)),
+        hit_ratio=draw(st.sampled_from([0.0, 0.5, 0.9, 1.0])),
+        write_fraction=draw(st.sampled_from([0.0, 0.3, 1.0])),
+        cache_tag_entries=draw(st.sampled_from([4, 64])),
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+@st.composite
+def raid_params(draw):
+    n_lps = draw(st.sampled_from([2, 4]))
+    return RAIDParams(
+        n_sources=5 * 4,  # keep divisibility with forks
+        n_forks=4,
+        n_disks=draw(st.sampled_from([4, 8])),
+        n_lps=n_lps if n_lps in (2, 4) else 4,
+        requests_per_source=draw(st.integers(5, 30)),
+        write_fraction=draw(st.sampled_from([0.0, 0.3, 1.0])),
+        pipeline_depth=draw(st.integers(1, 5)),
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+@st.composite
+def kernel_config(draw):
+    cancel = draw(st.sampled_from(["AC", "LC", "DC"]))
+    cancellation = {
+        "AC": lambda o: StaticCancellation(Mode.AGGRESSIVE),
+        "LC": lambda o: StaticCancellation(Mode.LAZY),
+        "DC": lambda o: DynamicCancellation(filter_depth=8, period=4),
+    }[cancel]
+    chi = draw(st.sampled_from(["static", "dynamic"]))
+    checkpoint = (
+        (lambda o, c=draw(st.integers(1, 20)): __import__(
+            "repro").StaticCheckpoint(c))
+        if chi == "static"
+        else (lambda o: DynamicCheckpoint(period=8))
+    )
+    agg_window = draw(st.sampled_from([None, 200.0, 4_000.0]))
+    aggregation = (
+        (lambda lp, w=agg_window: FixedWindow(w)) if agg_window else None
+    )
+    kwargs = dict(
+        cancellation=cancellation,
+        checkpoint=checkpoint,
+        lp_speed_factors={
+            lp: draw(st.floats(1.0, 2.0)) for lp in range(draw(st.integers(0, 3)))
+        },
+        network=NetworkModel(jitter=draw(st.floats(0.0, 0.6))),
+        max_executed_events=600_000,
+        record_trace=True,
+    )
+    if aggregation is not None:
+        kwargs["aggregation"] = aggregation
+    return kwargs
+
+
+def check(build, config_kwargs):
+    seq = SequentialSimulation(flatten(build()), record_trace=True)
+    seq.run()
+    sim = TimeWarpSimulation(build(), SimulationConfig(**config_kwargs))
+    stats = sim.run()
+    assert sim.sorted_trace() == seq.sorted_trace()
+    assert stats.committed_events == seq.events_executed
+
+
+@given(params=smmp_params(), config_kwargs=kernel_config())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_smmp_equivalence_random(params, config_kwargs):
+    check(lambda: build_smmp(params), config_kwargs)
+
+
+@given(params=raid_params(), config_kwargs=kernel_config())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_raid_equivalence_random(params, config_kwargs):
+    check(lambda: build_raid(params), config_kwargs)

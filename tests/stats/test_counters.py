@@ -1,0 +1,117 @@
+"""Tests for counters and reports."""
+
+import pytest
+
+from repro import SimulationConfig, StaticCancellation, Mode, TimeWarpSimulation
+from repro.apps.pingpong import build_pingpong
+from repro.apps.raid import RAIDParams, build_raid
+from repro.stats.counters import LPStats, ObjectStats, RunStats
+from repro.stats.report import (
+    _class_of,
+    class_report,
+    full_report,
+    lp_report,
+    per_class_breakdown,
+)
+
+
+class TestObjectStats:
+    def test_merge_adds_counters(self):
+        a = ObjectStats(events_executed=3, rollbacks=1, lazy_hits=2)
+        b = ObjectStats(events_executed=4, rollbacks=2, comparisons=5)
+        a.merge(b)
+        assert a.events_executed == 7
+        assert a.rollbacks == 3
+        assert a.lazy_hits == 2
+        assert a.comparisons == 5
+
+    def test_hit_ratio(self):
+        s = ObjectStats(lazy_hits=3, lazy_aggressive_hits=1, comparisons=8)
+        assert s.hit_ratio == 0.5
+        assert ObjectStats().hit_ratio == 0.0
+
+
+class TestRunStats:
+    def test_zero_division_guards(self):
+        empty = RunStats()
+        assert empty.committed_events_per_second == 0.0
+        assert empty.efficiency == 0.0
+        assert empty.rollback_frequency == 0.0
+
+    def test_summary_fields(self):
+        stats = RunStats(execution_time=2_000_000.0, committed_events=100,
+                         executed_events=120, rollbacks=5)
+        text = stats.summary()
+        assert "time=2.000s" in text
+        assert "committed=100" in text
+        assert "efficiency=0.833" in text
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        stats = RunStats(execution_time=1e6, committed_events=10,
+                         executed_events=12)
+        data = stats.to_dict()
+        json.dumps(data)
+        assert data["committed_events"] == 10
+        assert "per_object" not in data
+
+    def test_to_dict_with_breakdown(self):
+        stats = RunStats()
+        stats.per_object["x"] = ObjectStats(events_executed=3)
+        stats.per_lp[0] = LPStats(gvt_rounds=2)
+        data = stats.to_dict(include_breakdown=True)
+        assert data["per_object"]["x"]["events_executed"] == 3
+        assert data["per_lp"][0]["gvt_rounds"] == 2
+
+
+class TestClassOf:
+    @pytest.mark.parametrize("name,cls", [
+        ("disk-3", "disk"),
+        ("bank-17", "bank"),
+        ("gate", "gate"),
+        ("multi-part-2", "multi-part"),
+        ("odd-name-", "odd-name-"),
+    ])
+    def test_classification(self, name, cls):
+        assert _class_of(name) == cls
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        config = SimulationConfig(
+            cancellation=lambda o: StaticCancellation(Mode.LAZY),
+            lp_speed_factors={1: 1.1, 2: 1.2, 3: 1.3},
+        )
+        sim = TimeWarpSimulation(build_raid(RAIDParams(requests_per_source=25)),
+                                 config)
+        return sim.run()
+
+    def test_per_class_breakdown_totals(self, stats):
+        classes = per_class_breakdown(stats)
+        assert set(classes) == {"rsrc", "fork", "disk"}
+        total = sum(c.events_committed for c in classes.values())
+        assert total == stats.committed_events
+
+    def test_class_report_renders(self, stats):
+        text = class_report(stats)
+        assert "disk" in text and "fork" in text
+        assert len(text.splitlines()) == 2 + 3  # header + rule + 3 classes
+
+    def test_lp_report_renders(self, stats):
+        text = lp_report(stats)
+        assert len(text.splitlines()) == 2 + 4  # header + rule + 4 LPs
+        assert "%" in text
+
+    def test_full_report(self, stats):
+        text = full_report(stats, title="RAID run")
+        assert text.startswith("RAID run")
+        assert "Per object class" in text
+        assert "Per logical process" in text
+
+    def test_physical_message_accounting(self, stats):
+        sent = sum(lp.physical_messages_sent for lp in stats.per_lp.values())
+        received = sum(lp.physical_messages_received for lp in stats.per_lp.values())
+        assert sent == stats.physical_messages
+        assert received == sent  # everything sent was delivered

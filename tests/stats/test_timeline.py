@@ -1,0 +1,72 @@
+"""Tests for the run timeline recorder."""
+
+from repro import (
+    AdaptiveTimeWindow,
+    DynamicCancellation,
+    DynamicCheckpoint,
+    NetworkModel,
+    SimulationConfig,
+    TimeWarpSimulation,
+)
+from repro.apps.raid import RAIDParams, build_raid
+from repro.stats.timeline import Timeline
+
+
+def run_with_timeline(**kwargs):
+    timeline = Timeline()
+    config = SimulationConfig(
+        timeline=timeline, gvt_period=20_000.0,
+        lp_speed_factors={1: 1.1, 2: 1.2, 3: 1.3},
+        network=NetworkModel(jitter=0.4), **kwargs,
+    )
+    sim = TimeWarpSimulation(build_raid(RAIDParams(requests_per_source=60)),
+                             config)
+    stats = sim.run()
+    return timeline, stats
+
+
+class TestTimeline:
+    def test_one_sample_per_committed_gvt(self):
+        timeline, stats = run_with_timeline()
+        assert len(timeline.samples) >= 2
+
+    def test_samples_are_monotone(self):
+        timeline, _ = run_with_timeline()
+        walls = [s.wallclock_us for s in timeline.samples]
+        gvts = [s.gvt for s in timeline.samples]
+        execs = [s.executed_events for s in timeline.samples]
+        assert walls == sorted(walls)
+        assert gvts == sorted(gvts)
+        assert execs == sorted(execs)
+
+    def test_mode_counts_total_objects(self):
+        timeline, _ = run_with_timeline(
+            cancellation=lambda o: DynamicCancellation()
+        )
+        for s in timeline.samples:
+            assert s.lazy_objects + s.aggressive_objects == 32
+
+    def test_checkpoint_trajectory_moves(self):
+        timeline, _ = run_with_timeline(
+            checkpoint=lambda o: DynamicCheckpoint(period=16)
+        )
+        chis = [s.mean_checkpoint_interval for s in timeline.samples]
+        assert chis[0] >= 1.0
+        assert max(chis) > chis[0]
+
+    def test_optimism_window_recorded(self):
+        timeline, _ = run_with_timeline(
+            time_window=lambda: AdaptiveTimeWindow(min_window=20.0)
+        )
+        assert all(s.optimism_window > 0 for s in timeline.samples)
+
+    def test_render(self):
+        timeline, _ = run_with_timeline()
+        text = timeline.render()
+        assert "gvt" in text
+        assert len(text.splitlines()) == 2 + len(timeline.samples)
+
+    def test_interval_waste_is_bounded_sanely(self):
+        timeline, _ = run_with_timeline()
+        for s in timeline.samples:
+            assert s.interval_waste >= 0.0

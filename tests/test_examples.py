@@ -1,0 +1,60 @@
+"""Smoke tests: every bundled example must run end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sequential:" in out
+    assert "on-line configuration speedup" in out
+
+
+def test_smmp_study():
+    out = run_example("smmp_study.py", "40")
+    assert "baseline (AC, chi=1)" in out
+    assert "all three controllers" in out
+    assert "final strategies" in out
+
+
+def test_raid_study():
+    out = run_example("raid_study.py", "40")
+    assert "per-class behaviour under DC" in out
+    assert "disk" in out and "fork" in out
+
+
+def test_custom_model():
+    out = run_example("custom_model.py")
+    assert "cars washed: 600" in out
+    assert "trace verified against sequential" in out
+
+
+def test_logic_adder():
+    out = run_example("logic_adder.py", "6", "8")
+    assert "8/8 sums exact" in out
+
+
+def test_controller_convergence():
+    out = run_example("controller_convergence.py", "60")
+    assert "all four controllers live" in out
+    assert "gvt" in out
+
+
+def test_auto_partition():
+    out = run_example("auto_partition.py", "40")
+    assert "profiling the model sequentially" in out
+    assert "kernighan-lin" in out
