@@ -17,7 +17,7 @@ import json
 import sys
 import time
 
-from . import ablations
+from . import ablations, harness
 from .figures import FIGURES
 from .tables import render_fig5, render_results, render_series
 
@@ -59,10 +59,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="seeded replicates per cell (paper used 5)")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump raw results as JSON (figures only)")
+    parser.add_argument("--trace", metavar="DIR",
+                        help="dump a controller-decision trace (JSONL, see "
+                             "docs/observability.md) per replicate into DIR")
     args = parser.parse_args(argv)
 
     if not (args.fig or args.all or args.ablation):
         parser.error("choose --fig N, --all, or --ablation NAME")
+
+    if args.trace:
+        harness.set_trace_dir(args.trace)
+        print(f"tracing every replicate into {args.trace}/ "
+              f"(inspect with repro-trace)")
 
     kwargs: dict = {"replicates": args.replicates}
     if args.full:

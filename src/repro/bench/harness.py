@@ -15,8 +15,10 @@ state.  The profiles used per figure are documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
+import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..cluster.costmodel import NetworkModel
@@ -24,8 +26,25 @@ from ..kernel.config import SimulationConfig
 from ..kernel.kernel import TimeWarpSimulation
 from ..kernel.simobject import SimulationObject
 from ..stats.counters import RunStats
+from ..trace.tracer import Tracer
 
 Builder = Callable[[], Sequence[Sequence[SimulationObject]]]
+
+#: When set (``repro-bench --trace DIR`` or :func:`set_trace_dir`), every
+#: :func:`run_cell` replicate dumps its controller-decision trace here as
+#: ``<label>_x<x>_s<seed>.jsonl`` alongside the figure's results.
+_trace_dir: Path | None = None
+
+
+def set_trace_dir(path: str | Path | None) -> None:
+    """Dump a JSONL trace per benchmark replicate into ``path`` (None = off)."""
+    global _trace_dir
+    _trace_dir = Path(path) if path is not None else None
+
+
+def _trace_path(directory: Path, label: str, x: float, seed: int) -> Path:
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", label).strip("_")
+    return directory / f"{slug}_x{x:g}_s{seed}.jsonl"
 
 
 @dataclass(frozen=True)
@@ -93,18 +112,34 @@ def run_cell(
     *,
     replicates: int = 3,
     stat_hook: Callable[[TimeWarpSimulation, RunStats], dict] | None = None,
+    trace_dir: str | Path | None = None,
     **config_overrides: Any,
 ) -> RunResult:
-    """Run ``replicates`` seeded runs of one configuration and average."""
+    """Run ``replicates`` seeded runs of one configuration and average.
+
+    ``trace_dir`` (or a global default installed with :func:`set_trace_dir`)
+    makes every replicate dump its controller-decision trace as JSONL next
+    to the figure's results."""
     times: list[float] = []
     committed = rollbacks = messages = 0.0
     events = 0
     extra: dict[str, Any] = {}
+    traces = Path(trace_dir) if trace_dir is not None else _trace_dir
+    if traces is not None:
+        traces.mkdir(parents=True, exist_ok=True)
     wall_start = time.perf_counter()
     for seed in range(replicates):
         config = profile.config(seed=seed, **config_overrides)
+        tracer = None
+        if traces is not None:
+            tracer = Tracer.to_path(_trace_path(traces, label, x, seed))
+            config.tracer = tracer
         sim = TimeWarpSimulation(build(), config)
-        stats = sim.run()
+        try:
+            stats = sim.run()
+        finally:
+            if tracer is not None:
+                tracer.close()
         times.append(stats.execution_time)
         committed += stats.committed_events
         rollbacks += stats.rollbacks

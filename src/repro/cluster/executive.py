@@ -24,6 +24,7 @@ from ..comm.network import Network
 from ..gvt.manager import GVTAlgorithm
 from ..kernel.errors import TerminationError
 from ..kernel.lp import LogicalProcess
+from ..trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.config import SimulationConfig
@@ -62,6 +63,8 @@ class Executive:
         self._gvt_tick_scheduled = False
         self.wallclock = 0.0
         self.terminated = False
+        #: structured observability tracer (repro.trace); set by the kernel
+        self.tracer = NULL_TRACER
 
         for lp in lps:
             lp.schedule_flush = self._make_flush_scheduler(lp)  # type: ignore[method-assign]
@@ -144,7 +147,20 @@ class Executive:
         )
         self._last_window_executed = executed
         self._last_window_rolled = rolled
+        old_width = self._window_width
         self._window_width = self.window_policy.control(observation)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "ctrl.window", self.wallclock,
+                o=observation.waste,
+                old=old_width if old_width is not None else float("inf"),
+                new=self._window_width,
+                verdict=getattr(self.window_policy, "last_verdict", ""),
+                executed=observation.executed,
+                rolled_back=observation.rolled_back,
+                gvt=gvt,
+            )
         bound = gvt + self._window_width
         for lp in self.lps:
             lp.charge(lp.costs.control_invocation_cost)

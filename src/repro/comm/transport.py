@@ -14,6 +14,7 @@ from typing import Protocol
 
 from ..cluster.costmodel import CostModel
 from ..kernel.event import Event, VirtualTime
+from ..trace.tracer import NULL_TRACER
 from .aggregation import AggregateBuffer, AggregationPolicy
 from .message import MessageKind, PhysicalMessage
 from .network import Network
@@ -48,11 +49,15 @@ class CommModule:
         network: Network,
         costs: CostModel,
         policy: AggregationPolicy,
+        *,
+        tracer=NULL_TRACER,
     ) -> None:
         self.host = host
         self.network = network
         self.costs = costs
         self.policy = policy
+        #: structured observability tracer (repro.trace)
+        self.tracer = tracer
         self.window: float = policy.initial_window()
         self._buffers: dict[int, AggregateBuffer] = {}
         self._routing: dict[int, int] = {}
@@ -85,7 +90,7 @@ class CommModule:
             )
         buffer.append(event)
         if len(buffer) >= self.MAX_AGGREGATE_EVENTS:
-            self._send_aggregate(buffer)
+            self._send_aggregate(buffer, trigger="capacity")
 
     def _dst_lp_of(self, event: Event) -> int:
         # The LP resolves receiver -> LP before calling us and stashes it on
@@ -104,26 +109,46 @@ class CommModule:
         buffer = self._buffers.get(dst_lp)
         if buffer is None or buffer.generation != generation or not buffer.events:
             return
-        self._send_aggregate(buffer)
+        self._send_aggregate(buffer, trigger="age")
 
     def flush_all(self) -> int:
         """Force-send every non-empty aggregate (idle or GVT barrier)."""
         flushed = 0
         for buffer in self._buffers.values():
             if buffer.events:
-                self._send_aggregate(buffer)
+                self._send_aggregate(buffer, trigger="drain")
                 flushed += 1
         return flushed
 
-    def _send_aggregate(self, buffer: AggregateBuffer) -> None:
+    def _send_aggregate(self, buffer: AggregateBuffer, *, trigger: str = "age") -> None:
         age = buffer.age(self.host.clock)
         count = len(buffer)
         events = buffer.take()
         self._transmit(buffer.dst_lp, events)
+        old_window = self.window
         new_window = self.policy.next_window(count, age, self.window)
         if new_window != self.window:
             self.window = new_window
             self.window_trace.append((self.host.clock, new_window))
+        tracer = self.tracer
+        if tracer.enabled:
+            clock = self.host.clock
+            tracer.emit(
+                "comm.flush", clock,
+                lp=self.host.lp_id, dst_lp=buffer.dst_lp,
+                count=count, age=age, window=old_window, trigger=trigger,
+            )
+            # Adaptive policies treat every aggregate as one <O,I,S,T,P>
+            # control invocation; static policies carry no verdict.
+            verdict = getattr(self.policy, "last_verdict", "")
+            if verdict:
+                tracer.emit(
+                    "ctrl.aggregation", clock,
+                    lp=self.host.lp_id, dst_lp=buffer.dst_lp,
+                    o=getattr(self.policy, "last_rate", 0.0),
+                    old=old_window, new=new_window,
+                    verdict=verdict, count=count, age=age,
+                )
 
     def _transmit(self, dst_lp: int, events: tuple[Event, ...]) -> None:
         message = PhysicalMessage(

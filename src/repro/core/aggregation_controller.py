@@ -49,6 +49,10 @@ class SAAWPolicy:
     _last_rate: float | None = field(default=None, init=False)
     #: adapted window per aggregate, for analysis
     history: list[float] = field(default_factory=list, init=False)
+    #: rate-comparison verdict and sampled R(age) of the last invocation;
+    #: recorded in the ``ctrl.aggregation`` trace record
+    last_verdict: str = field(default="", init=False)
+    last_rate: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.initial_window_us <= 0:
@@ -66,12 +70,18 @@ class SAAWPolicy:
         rate = self.modified_rate(sent_count, age)
         previous = self._last_rate
         self._last_rate = rate
+        self.last_rate = rate
         if previous is None:
+            self.last_verdict = "first_aggregate"
             return window
         if rate > previous:
+            self.last_verdict = "rate_rose"
             window = window * (1.0 + self.step)
         elif rate < previous:
+            self.last_verdict = "rate_fell"
             window = window * (1.0 - self.step)
+        else:
+            self.last_verdict = "rate_flat"
         window = self._clamp(window)
         self.history.append(window)
         return window
@@ -119,12 +129,18 @@ class BoundedMultiplicativeSAAW(SAAWPolicy):
         rate = self.modified_rate(sent_count, age)
         previous = self._last_rate
         self._last_rate = rate
+        self.last_rate = rate
         if previous is None:
+            self.last_verdict = "first_aggregate"
             return window
         if rate > previous:
+            self.last_verdict = "rate_rose"
             window = window * (1.0 + self.grow)
         elif rate < previous:
+            self.last_verdict = "rate_fell"
             window = window * (1.0 - self.shrink)
+        else:
+            self.last_verdict = "rate_flat"
         window = self._clamp(window)
         self.history.append(window)
         return window

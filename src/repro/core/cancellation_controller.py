@@ -54,6 +54,9 @@ class DynamicCancellation:
     _threshold: DeadZoneThreshold[Mode] = field(init=False)
     #: (HR, mode) at each control invocation, for analysis
     history: list[tuple[float, Mode]] = field(default_factory=list, init=False)
+    #: dead-zone verdict of the last invocation; recorded in the
+    #: ``ctrl.cancellation`` trace record (docs/observability.md)
+    last_verdict: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
         if self.l2a_threshold > self.a2l_threshold:
@@ -84,6 +87,12 @@ class DynamicCancellation:
     def control(self) -> Mode:
         hr = self.hit_ratio
         mode = self._threshold.update(hr)
+        if hr >= self.a2l_threshold:
+            self.last_verdict = "above_a2l"
+        elif hr <= self.l2a_threshold:
+            self.last_verdict = "below_l2a"
+        else:
+            self.last_verdict = "dead_zone"
         self.history.append((hr, mode))
         return mode
 
@@ -153,6 +162,7 @@ class PermanentSet(DynamicCancellation):
 
     def control(self) -> Mode:
         if self._locked is not None:
+            self.last_verdict = "locked"
             return self._locked
         mode = super().control()
         if self.window.samples_seen >= self.lock_after:
@@ -160,6 +170,7 @@ class PermanentSet(DynamicCancellation):
             # stop paying for control invocations from here on.
             self._locked = mode
             self.period = None
+            self.last_verdict = "locked_in"
         return mode
 
     def spec(self) -> ControlSpec:
@@ -211,6 +222,7 @@ class PermanentAggressive(DynamicCancellation):
         if self._locked:
             # Apply the pinned strategy, then stop control invocations.
             self.period = None
+            self.last_verdict = "pinned_aggressive"
             return Mode.AGGRESSIVE
         return super().control()
 

@@ -58,6 +58,9 @@ class DynamicCheckpoint:
     _previous_ec: float | None = field(default=None, init=False)
     #: (event-normalized Ec, interval) per invocation, for analysis
     history: list[tuple[float, int]] = field(default_factory=list, init=False)
+    #: transfer-function branch taken by the last invocation; recorded in
+    #: the ``ctrl.checkpoint`` trace record (docs/observability.md)
+    last_verdict: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -81,10 +84,13 @@ class DynamicCheckpoint:
         previous = self._previous_ec
         self._previous_ec = ec
         if previous is None:
+            self.last_verdict = "first_sample"
             return self._interval
         if ec > previous * (1.0 + self.significance):
+            self.last_verdict = "ec_rose"
             self._interval = max(1, self._interval - self.step)
         else:
+            self.last_verdict = "ec_flat"
             self._interval = min(self.max_interval, self._interval + self.step)
         return self._interval
 
@@ -125,6 +131,7 @@ class HillClimbCheckpoint:
     _direction: int = field(default=1, init=False)
     _previous_ec: float | None = field(default=None, init=False)
     history: list[tuple[float, int]] = field(default_factory=list, init=False)
+    last_verdict: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -144,8 +151,13 @@ class HillClimbCheckpoint:
         self.history.append((ec, self._interval))
         previous = self._previous_ec
         self._previous_ec = ec
-        if previous is not None and ec > previous * (1.0 + self.significance):
+        if previous is None:
+            self.last_verdict = "first_sample"
+        elif ec > previous * (1.0 + self.significance):
             self._direction = -self._direction
+            self.last_verdict = "reversed"
+        else:
+            self.last_verdict = "kept_direction"
         candidate = self._interval + self._direction * self.step
         if candidate < 1:
             candidate = 1

@@ -20,6 +20,13 @@ per invocation, and ``benchmarks/bench_abl_control_period.py`` sweeps ``P``.
 Every concrete controller in this package exposes its tuple through
 :meth:`Controlled.spec`, both as executable documentation and so reports
 can print the configuration of a run.
+
+The tuple is also observable at run time: with tracing enabled
+(``docs/observability.md``), every control invocation becomes one
+``ctrl.*`` trace record whose ``o`` field is the sampled output ``O``,
+whose ``old``/``new`` fields are the configured input ``I`` before and
+after, and whose ``verdict`` names the branch of ``T`` that fired; the
+record cadence *is* ``P``.
 """
 
 from __future__ import annotations
@@ -30,7 +37,14 @@ from typing import Any, Protocol, runtime_checkable
 
 @dataclass(frozen=True, slots=True)
 class ControlSpec:
-    """The ``<O, I, S, T, P>`` tuple of one control system, as data."""
+    """The ``<O, I, S, T, P>`` tuple of one control system, as data.
+
+    Trace correspondence (``docs/observability.md``): in a ``ctrl.*``
+    record, :attr:`sampled_output` is the ``o`` field,
+    :attr:`configured_parameter` is ``old``/``new``,
+    :attr:`transfer_function` is summarized by ``verdict``, and
+    :attr:`period` is the cadence at which the records appear.
+    """
 
     sampled_output: str
     configured_parameter: str

@@ -60,6 +60,8 @@ class StaticTimeWindow:
     """A fixed optimism bound (reference [20]'s non-adaptive baseline)."""
 
     window: float = UNBOUNDED
+    #: uniform with the adaptive policy, for the ``ctrl.window`` trace record
+    last_verdict = "static"
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -98,6 +100,9 @@ class AdaptiveTimeWindow:
     _window: float = field(init=False)
     #: (waste, window) per control invocation
     history: list[tuple[float, float]] = field(default_factory=list, init=False)
+    #: dead-zone verdict of the last invocation; recorded in the
+    #: ``ctrl.window`` trace record (docs/observability.md)
+    last_verdict: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.low_waste <= self.high_waste <= 1:
@@ -122,11 +127,16 @@ class AdaptiveTimeWindow:
                 # controller cannot halve infinity.  Use min_window scaled
                 # well up; subsequent rounds will adjust multiplicatively.
                 self._window = self.min_window * 64
+                self.last_verdict = "high_waste_first_clamp"
             else:
                 self._window = max(self.min_window, self._window * self.shrink)
+                self.last_verdict = "high_waste"
         elif waste < self.low_waste:
+            self.last_verdict = "low_waste"
             if self._window != UNBOUNDED:
                 self._window = self._window * self.grow
+        else:
+            self.last_verdict = "dead_zone"
         return self._window
 
     @property

@@ -85,6 +85,13 @@ class OmniscientGVT:
         for lp in executive.lps:
             lp.charge(lp.costs.gvt_participation_cost)
             lp.stats.gvt_rounds += 1
+        tracer = executive.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gvt.round", executive.wallclock,
+                algorithm="omniscient", gvt=estimate,
+                advanced=estimate > self.gvt,
+            )
         if estimate > self.gvt:
             self.gvt = estimate
             for lp in executive.lps:

@@ -214,6 +214,14 @@ class MatternGVT:
         lp.fossil_collect(broadcast.gvt)
 
     def _commit(self, estimate: VirtualTime) -> None:
+        executive = self._executive
+        tracer = executive.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gvt.round", executive.wallclock,
+                algorithm="mattern", gvt=estimate,
+                advanced=estimate > self.gvt,
+            )
         if estimate > self.gvt:
             self.gvt = estimate
             # The initiator collects immediately; the other LPs collect

@@ -25,6 +25,7 @@ from .simobject import SimulationObject
 if TYPE_CHECKING:  # pragma: no cover - avoids a kernel <-> comm import cycle
     from ..comm.aggregation import AggregationPolicy
     from ..core.window_controller import TimeWindowPolicy
+    from ..trace.tracer import Tracer
 
 CancellationFactory = Callable[[SimulationObject], CancellationPolicy]
 CheckpointFactory = Callable[[SimulationObject], CheckpointPolicy]
@@ -74,6 +75,12 @@ class SimulationConfig:
     #: optional :class:`repro.stats.timeline.Timeline` that receives one
     #: snapshot per GVT round (controller trajectories over the run)
     timeline: object | None = None
+
+    #: optional :class:`repro.trace.Tracer` receiving structured records
+    #: for every controller decision, rollback, GVT round, fossil
+    #: collection and transport flush (docs/observability.md).  ``None``
+    #: (the default) costs one attribute check per potential emission.
+    tracer: "Tracer | None" = None
 
     #: events an LP executes per executive turn (arrival polling interval)
     events_per_turn: int = 1

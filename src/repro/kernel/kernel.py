@@ -18,6 +18,7 @@ from ..cluster.executive import Executive
 from ..gvt.manager import OmniscientGVT
 from ..gvt.mattern import MatternGVT
 from ..stats.counters import RunStats
+from ..trace.tracer import NULL_TRACER
 from .config import SimulationConfig
 from .errors import ConfigurationError
 from .event import Event
@@ -71,13 +72,18 @@ class TimeWarpSimulation:
             )
 
         # --- executive, transport, GVT -----------------------------------
+        tracer = self.config.tracer if self.config.tracer is not None else NULL_TRACER
+        self.tracer = tracer
         self.executive = Executive(self.lps, self.config)
+        self.executive.tracer = tracer
         for lp in self.lps:
+            lp.tracer = tracer
             comm = CommModule(
                 host=lp,
                 network=self.executive.network,
                 costs=lp.costs,
                 policy=self.config.aggregation(lp.lp_id),
+                tracer=tracer,
             )
             comm.set_routing(self._oid_to_lp)
             lp.comm = comm

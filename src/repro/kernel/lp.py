@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from ..cluster.costmodel import CostModel
 from ..stats.counters import LPStats, ObjectStats
+from ..trace.tracer import NULL_TRACER
 from .cancellation import CancellationPolicy, ComparisonBuffer, Mode
 from .checkpointing import MAX_INTERVAL, CheckpointPolicy, CheckpointWindow
 from .errors import (
@@ -113,6 +114,9 @@ class LogicalProcess:
         #: executive when a time-window policy is active
         self.optimism_bound: VirtualTime = float("inf")
         self.stats = LPStats()
+        #: structured observability tracer (repro.trace); NULL_TRACER when
+        #: tracing is off, so emission sites cost one attribute check
+        self.tracer = NULL_TRACER
         #: optional committed-event trace recorder (tests / debugging)
         self.trace_sink: Callable[[Event], None] | None = None
         #: set by the executive so arrivals can wake an idle LP
@@ -262,7 +266,21 @@ class LogicalProcess:
 
         # Coast forward: re-execute the surviving processed events that
         # came after the restored snapshot, with sends suppressed.
+        coast_events_before = stats.coast_forward_events
+        coast_cost_before = ctx.ckpt_window.coast_cost
         self._coast_forward(ctx, snapshot)
+
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "rollback", self.clock,
+                lp=self.lp_id, obj=ctx.obj.name,
+                cause="primary" if primary else "secondary",
+                to=key.recv_time, restored_lvt=snapshot.lvt,
+                depth=len(rolled), undone_sends=len(undone),
+                coast_events=stats.coast_forward_events - coast_events_before,
+                coast_cost=ctx.ckpt_window.coast_cost - coast_cost_before,
+            )
 
     def _coast_forward(self, ctx: ObjectContext, snapshot: SavedState) -> None:
         processed = ctx.iq.processed
@@ -376,10 +394,23 @@ class LogicalProcess:
             ctx.comparisons_since_control = 0
             self.charge(self.costs.control_invocation_cost)
             stats.control_invocations += 1
+            old_mode = ctx.mode
             new_mode = ctx.cancel_policy.control()
-            if new_mode is not ctx.mode:
+            switched = new_mode is not old_mode
+            if switched:
                 ctx.mode = new_mode
                 stats.mode_switches += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                policy = ctx.cancel_policy
+                tracer.emit(
+                    "ctrl.cancellation", self.clock,
+                    lp=self.lp_id, obj=ctx.obj.name,
+                    o=getattr(policy, "hit_ratio", 0.0),
+                    old=old_mode.name.lower(), new=new_mode.name.lower(),
+                    verdict=getattr(policy, "last_verdict", ""),
+                    switched=switched,
+                )
 
     def _expire_comparisons(self, ctx: ObjectContext, key: EventKey | None) -> None:
         expired = (
@@ -403,9 +434,24 @@ class LogicalProcess:
         ctx.events_since_ckpt_control = 0
         self.charge(self.costs.control_invocation_cost)
         ctx.stats.control_invocations += 1
-        new_interval = ctx.ckpt_policy.control(ctx.ckpt_window.snapshot())
-        ctx.ckpt_window.reset()
+        window = ctx.ckpt_window
+        old_chi = ctx.chi
+        new_interval = ctx.ckpt_policy.control(window.snapshot())
         ctx.chi = max(1, min(MAX_INTERVAL, int(new_interval)))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "ctrl.checkpoint", self.clock,
+                lp=self.lp_id, obj=ctx.obj.name,
+                o=window.ec / max(1, window.events),
+                old=old_chi, new=ctx.chi,
+                verdict=getattr(ctx.ckpt_policy, "last_verdict", "static"),
+                events=window.events, saves=window.saves,
+                save_cost=window.save_cost,
+                coast_events=window.coast_events, coast_cost=window.coast_cost,
+                rollbacks=window.rollbacks,
+            )
+        window.reset()
 
     # ------------------------------------------------------------------ #
     # forward execution
@@ -549,6 +595,13 @@ class LogicalProcess:
             self.charge(self.costs.fossil_item_cost * items)
         self.stats.fossil_collections += 1
         self.stats.fossil_items += items
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "fossil.collect", self.clock,
+                lp=self.lp_id, gvt=gvt, committed=committed_total,
+                items=items, final=final,
+            )
         return committed_total
 
     def _sample_memory(self) -> None:

@@ -147,7 +147,10 @@ class RunStats:
         out["efficiency"] = self.efficiency
         if include_breakdown:
             out["per_object"] = {
-                name: {g.name: getattr(s, g.name) for g in dc_fields(s)}
+                name: {
+                    **{g.name: getattr(s, g.name) for g in dc_fields(s)},
+                    "hit_ratio": s.hit_ratio,
+                }
                 for name, s in self.per_object.items()
             }
             out["per_lp"] = {

@@ -64,6 +64,16 @@ class TestRunStats:
         assert data["per_object"]["x"]["events_executed"] == 3
         assert data["per_lp"][0]["gvt_rounds"] == 2
 
+    def test_to_dict_breakdown_includes_hit_ratio(self):
+        # hit_ratio is a property, not a dataclass field, so the breakdown
+        # has to compute it explicitly
+        stats = RunStats()
+        stats.per_object["x"] = ObjectStats(lazy_hits=3, comparisons=4)
+        stats.per_object["y"] = ObjectStats()
+        data = stats.to_dict(include_breakdown=True)
+        assert data["per_object"]["x"]["hit_ratio"] == 0.75
+        assert data["per_object"]["y"]["hit_ratio"] == 0.0
+
 
 class TestClassOf:
     @pytest.mark.parametrize("name,cls", [

@@ -52,6 +52,10 @@ def test_controller_convergence():
     out = run_example("controller_convergence.py", "60")
     assert "all four controllers live" in out
     assert "gvt" in out
+    # the example validates its own trace and cross-checks it against the
+    # kernel's final checkpoint intervals
+    assert "trace chi trajectory matches final intervals" in out
+    assert "repro-trace summarize" in out
 
 
 def test_auto_partition():

@@ -1,0 +1,85 @@
+"""Schema validation and the schema/docs drift guard."""
+
+from pathlib import Path
+
+from repro.trace import RECORD_TYPES, validate_record
+from repro.trace.schema import COMMON_FIELDS
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+
+class TestValidateRecord:
+    def test_unknown_type_rejected(self):
+        assert validate_record({"type": "nope", "seq": 1, "t": 0.0})
+
+    def test_missing_required_field_rejected(self):
+        errors = validate_record({"type": "gvt.round", "seq": 1, "t": 0.0,
+                                  "gvt": 5.0, "advanced": True})
+        assert any("algorithm" in e for e in errors)
+
+    def test_unknown_fields_allowed(self):
+        record = {"type": "gvt.round", "seq": 1, "t": 0.0,
+                  "algorithm": "omniscient", "gvt": 5.0, "advanced": True,
+                  "future_field": 42}
+        assert validate_record(record) == []
+
+    def test_verdict_vocabulary_enforced(self):
+        record = {"type": "ctrl.cancellation", "seq": 1, "t": 0.0, "lp": 0,
+                  "obj": "x", "o": 0.5, "old": "aggressive", "new": "lazy",
+                  "verdict": "vibes", "switched": True}
+        errors = validate_record(record)
+        assert any("vocabulary" in e for e in errors)
+
+    def test_bool_is_not_an_int(self):
+        record = {"type": "rollback", "seq": 1, "t": 0.0, "lp": 0, "obj": "x",
+                  "cause": "primary", "to": 1.0, "restored_lvt": 0.0,
+                  "depth": True, "undone_sends": 0, "coast_events": 0,
+                  "coast_cost": 0.0}
+        errors = validate_record(record)
+        assert any("depth" in e and "bool" in e for e in errors)
+
+    def test_non_finite_strings_accepted_on_number_fields(self):
+        record = {"type": "fossil.collect", "seq": 1, "t": 0.0, "lp": 0,
+                  "gvt": "inf", "committed": 3, "items": 9, "final": True}
+        assert validate_record(record) == []
+
+    def test_arbitrary_string_rejected_on_number_fields(self):
+        record = {"type": "fossil.collect", "seq": 1, "t": 0.0, "lp": 0,
+                  "gvt": "huge", "committed": 3, "items": 9, "final": True}
+        assert validate_record(record)
+
+    def test_newer_schema_version_flagged(self):
+        record = {"type": "trace.header", "seq": 0, "t": 0.0,
+                  "schema": 999, "lib": "repro"}
+        errors = validate_record(record)
+        assert any("schema 999" in e for e in errors)
+
+
+class TestDocsDriftGuard:
+    """docs/observability.md must document the registry completely."""
+
+    def test_docs_exist(self):
+        assert DOCS.is_file(), "docs/observability.md is missing"
+
+    def test_every_record_type_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        missing = [t for t in RECORD_TYPES if f"`{t}`" not in text]
+        assert not missing, f"undocumented record types: {missing}"
+
+    def test_every_field_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        missing = []
+        for spec in RECORD_TYPES.values():
+            for fspec in spec.fields + COMMON_FIELDS:
+                if f"`{fspec.name}`" not in text:
+                    missing.append(f"{spec.type}.{fspec.name}")
+        assert not missing, f"undocumented fields: {missing}"
+
+    def test_every_verdict_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        missing = []
+        for spec in RECORD_TYPES.values():
+            for verdict in spec.verdicts:
+                if f"`{verdict}`" not in text:
+                    missing.append(f"{spec.type}: {verdict}")
+        assert not missing, f"undocumented verdicts: {missing}"

@@ -1,0 +1,141 @@
+"""End-to-end tracing: determinism, schema round-trip, CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro import (
+    AdaptiveTimeWindow,
+    DynamicCancellation,
+    DynamicCheckpoint,
+    NetworkModel,
+    SAAWPolicy,
+    SimulationConfig,
+    TimeWarpSimulation,
+)
+from repro.apps.raid import RAIDParams, build_raid
+from repro.trace import (
+    RECORD_TYPES,
+    Tracer,
+    load_trace,
+    read_trace,
+    summarize,
+    validate_record,
+    validate_trace,
+)
+from repro.trace.cli import main as trace_cli
+
+
+def traced_run(path):
+    """One small RAID run with all four controllers live, traced to path."""
+    with Tracer.to_path(path) as tracer:
+        config = SimulationConfig(
+            checkpoint=lambda obj: DynamicCheckpoint(period=16),
+            cancellation=lambda obj: DynamicCancellation(period=8),
+            aggregation=lambda lp: SAAWPolicy(initial_window_us=300.0),
+            time_window=lambda: AdaptiveTimeWindow(min_window=50.0),
+            lp_speed_factors={1: 1.1, 2: 1.2, 3: 1.3},
+            network=NetworkModel(jitter=0.4, seed=0),
+            gvt_period=25_000.0,
+            gvt_algorithm="mattern",
+            tracer=tracer,
+        )
+        sim = TimeWarpSimulation(
+            build_raid(RAIDParams(requests_per_source=40)), config
+        )
+        stats = sim.run()
+    return sim, stats
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    traced_run(path)
+    return path
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_byte_identical_traces(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        traced_run(a)
+        traced_run(b)
+        bytes_a, bytes_b = a.read_bytes(), b.read_bytes()
+        assert len(bytes_a) > 0
+        assert bytes_a == bytes_b
+
+
+class TestRoundTrip:
+    def test_every_line_is_strict_json(self, trace_path):
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_every_record_validates(self, trace_path):
+        assert validate_trace(trace_path) == []
+        for record in read_trace(trace_path):
+            assert validate_record(record) == []
+
+    def test_every_schema_type_is_emitted(self, trace_path):
+        seen = {r["type"] for r in read_trace(trace_path)}
+        assert seen == set(RECORD_TYPES)
+
+    def test_seq_is_gapless_and_monotone(self, trace_path):
+        seqs = [r["seq"] for r in read_trace(trace_path)]
+        assert seqs == list(range(len(seqs)))
+
+    def test_trace_agrees_with_run_stats(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sim, stats = traced_run(path)
+        summary = summarize(read_trace(path))
+        assert summary.by_type["rollback"] == stats.rollbacks
+        assert summary.final_gvt == stats.final_gvt
+        # the last chi move per object matches the kernel's final interval
+        final_chi = {ctx.obj.name: ctx.chi
+                     for lp in sim.lps for ctx in lp.members.values()}
+        for name, traj in summary.objects.items():
+            if traj.chi_last is not None:
+                assert final_chi[name] == traj.chi_last
+
+    def test_load_trace_filters(self, trace_path):
+        rolls = load_trace(trace_path, types=("rollback",))
+        assert rolls and all(r["type"] == "rollback" for r in rolls)
+        obj = rolls[0]["obj"]
+        mine = load_trace(trace_path, obj=obj)
+        assert mine and all(r["obj"] == obj for r in mine)
+        lp0 = load_trace(trace_path, lp=0)
+        assert all(r["lp"] == 0 for r in lp0)
+
+
+class TestCLI:
+    def test_summarize(self, trace_path, capsys):
+        assert trace_cli(["summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records by type" in out
+        assert "gvt rounds" in out
+
+    def test_filter_outputs_strict_jsonl(self, trace_path, capsys):
+        assert trace_cli(["filter", str(trace_path),
+                          "--type", "ctrl.window"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["type"] == "ctrl.window"
+
+    def test_timeline(self, trace_path, capsys):
+        rolls = load_trace(trace_path, types=("rollback",))
+        obj = rolls[0]["obj"]
+        assert trace_cli(["timeline", str(trace_path), "--obj", obj]) == 0
+        out = capsys.readouterr().out
+        assert f"object {obj}" in out
+
+    def test_timeline_unknown_object(self, trace_path, capsys):
+        assert trace_cli(["timeline", str(trace_path),
+                          "--obj", "no-such-object"]) == 1
+
+    def test_validate(self, trace_path, capsys):
+        assert trace_cli(["validate", str(trace_path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"nope","seq":0,"t":0.0}\n')
+        assert trace_cli(["validate", str(bad)]) == 1
