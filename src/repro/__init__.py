@@ -41,6 +41,8 @@ from .core import (
 )
 from .comm.aggregation import FixedWindow, NoAggregation
 from .conservative import ConservativeSimulation
+from .faults import FaultPlan, FaultRates
+from .oracle import InvariantOracle, InvariantViolation
 from .sequential import SequentialSimulation
 from .stats import RunStats, Timeline
 
@@ -52,7 +54,11 @@ __all__ = [
     "CostModel",
     "DynamicCancellation",
     "DynamicCheckpoint",
+    "FaultPlan",
+    "FaultRates",
     "FixedWindow",
+    "InvariantOracle",
+    "InvariantViolation",
     "Mode",
     "NetworkModel",
     "NoAggregation",

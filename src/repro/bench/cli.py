@@ -62,10 +62,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="DIR",
                         help="dump a controller-decision trace (JSONL, see "
                              "docs/observability.md) per replicate into DIR")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the differential fault-injection fuzz "
+                             "sweep instead of a figure (docs/robustness.md)")
+    parser.add_argument("--plans", type=int, default=100,
+                        help="seeded fault plans to sweep with --faults")
     args = parser.parse_args(argv)
 
+    if args.faults:
+        from ..faults.fuzz import run_fuzz
+
+        start = time.perf_counter()
+        report = run_fuzz(plans=args.plans)
+        print(report.render())
+        print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+        return 0 if report.ok else 1
+
     if not (args.fig or args.all or args.ablation):
-        parser.error("choose --fig N, --all, or --ablation NAME")
+        parser.error("choose --fig N, --all, --ablation NAME, or --faults")
 
     if args.trace:
         harness.set_trace_dir(args.trace)

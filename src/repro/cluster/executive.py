@@ -24,6 +24,7 @@ from ..comm.network import Network
 from ..gvt.manager import GVTAlgorithm
 from ..kernel.errors import TerminationError
 from ..kernel.lp import LogicalProcess
+from ..oracle.invariants import NULL_ORACLE
 from ..trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +35,7 @@ _TURN = 1
 _FLUSH = 2
 _GVT_TICK = 3
 _EXTERNAL = 4
+_CALLBACK = 5
 
 
 class Executive:
@@ -44,11 +46,22 @@ class Executive:
         self.config = config
         self._heap: list[tuple[float, int, int, object]] = []
         self._seq = itertools.count()
-        self.network = Network(config.network, self._schedule_delivery)
+        if config.faults is not None:
+            from ..faults.network import FaultyNetwork
+
+            self.network: Network = FaultyNetwork(
+                config.network,
+                self._schedule_delivery,
+                plan=config.faults,
+                schedule_callback=self.schedule_callback,
+            )
+        else:
+            self.network = Network(config.network, self._schedule_delivery)
         self.gvt_algorithm: GVTAlgorithm = None  # type: ignore[assignment]
         self.gvt_history: list[tuple[float, float]] = []
         self._pending_deliveries = 0
         self._pending_data = 0
+        self._pending_callbacks = 0
         self._executed_events = 0
         # optional optimism throttling (bounded time windows)
         self.window_policy = (
@@ -65,6 +78,8 @@ class Executive:
         self.terminated = False
         #: structured observability tracer (repro.trace); set by the kernel
         self.tracer = NULL_TRACER
+        #: runtime invariant oracle (repro.oracle); set by the kernel
+        self.oracle = NULL_ORACLE
 
         for lp in lps:
             lp.schedule_flush = self._make_flush_scheduler(lp)  # type: ignore[method-assign]
@@ -99,6 +114,13 @@ class Executive:
             self._gvt_tick_scheduled = True
             self._push(at, _GVT_TICK, None)
 
+    def schedule_callback(self, at: float, fn) -> None:
+        """Run ``fn(when)`` at wall-clock ``at`` (the fault-injecting
+        transport uses this for wire arrivals, acks and retransmit
+        timers)."""
+        self._pending_callbacks += 1
+        self._push(at, _CALLBACK, fn)
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
@@ -127,6 +149,9 @@ class Executive:
 
     def on_new_gvt(self, estimate: float) -> None:
         self.gvt_history.append((self.wallclock, estimate))
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_wire_check(self.wallclock, self.network)
         if self.window_policy is not None:
             self._run_window_control(estimate)
         if self.config.timeline is not None:
@@ -196,6 +221,9 @@ class Executive:
                 for lp in self.lps:
                     if lp.has_work():
                         self._schedule_turn(lp, lp.clock)
+            elif kind == _CALLBACK:
+                self._pending_callbacks -= 1
+                data(when)  # type: ignore[operator]
             else:  # _GVT_TICK
                 self._gvt_tick_scheduled = False
                 if self._app_quiescent():
@@ -274,6 +302,10 @@ class Executive:
         the GVT tick this predicate gates that will unblock it."""
         if self._pending_data:
             return False
+        if self.network.undelivered_data_count():
+            # A fault-injecting wire may hold DATA back (awaiting
+            # retransmission) with no delivery scheduled yet.
+            return False
         for lp in self.lps:
             if lp.has_work(ignore_window=True):
                 return False
@@ -286,8 +318,14 @@ class Executive:
 
     def _quiescent(self) -> bool:
         """Full termination condition: the application is quiescent and
-        all control traffic (GVT tokens/broadcasts) has drained too."""
+        all control traffic (GVT tokens/broadcasts, transport callbacks)
+        has drained too."""
         if self._pending_deliveries:
+            return False
+        if self._pending_callbacks:
+            # Transport work outstanding: a held-back wire copy, an ack,
+            # or a (possibly stale) retransmit timer.  Stale timers just
+            # pop as no-ops, so waiting on them always terminates.
             return False
         if self.gvt_algorithm.round_active:
             return False

@@ -47,7 +47,15 @@ class Network:
         self._deliver = deliver
         self._last_arrival: dict[tuple[int, int], float] = {}
         self._channel_counts: dict[tuple[int, int], int] = {}
+        #: in-flight copies, keyed by message serial.  A duplicated or
+        #: retransmitted physical message re-enters the wire under the
+        #: *same* serial, so each serial carries a copy count — popping the
+        #: whole entry on first delivery would drop the remaining copies
+        #: from the GVT floor (unsafe) and a stray extra delivery would
+        #: double-decrement.
         self._in_flight: dict[int, PhysicalMessage] = {}
+        self._in_flight_counts: dict[int, int] = {}
+        self._in_flight_total = 0
         #: optional observer invoked for every DATA message entering the
         #: wire (used by distributed GVT algorithms for message colouring)
         self.on_data_send: Callable[[PhysicalMessage], None] | None = None
@@ -55,6 +63,10 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.events_carried = 0
+        self.delivered_count = 0
+        #: messages permanently lost on the wire (only a fault-injecting
+        #: subclass without retransmission ever increments this)
+        self.lost_count = 0
 
     def send(self, message: PhysicalMessage, completion_clock: float) -> float:
         """Inject ``message`` at ``completion_clock``; returns arrival time."""
@@ -71,7 +83,7 @@ class Network:
         if previous is not None and arrival <= previous:
             arrival = previous + CHANNEL_EPSILON
         self._last_arrival[channel] = arrival
-        self._in_flight[message.serial] = message
+        self._track(message)
         if self.on_data_send is not None and message.kind is MessageKind.DATA:
             self.on_data_send(message)
         self.messages_sent += 1
@@ -80,12 +92,63 @@ class Network:
         self._deliver(message.dst_lp, arrival, message)
         return arrival
 
-    def on_delivered(self, message: PhysicalMessage) -> None:
-        """The executive hands the message to its LP; stop tracking it."""
-        self._in_flight.pop(message.serial, None)
+    # ------------------------------------------------------------------ #
+    # in-flight accounting
+    # ------------------------------------------------------------------ #
+    def _track(self, message: PhysicalMessage) -> None:
+        """Account one copy of ``message`` entering the wire."""
+        serial = message.serial
+        if serial in self._in_flight_counts:
+            self._in_flight_counts[serial] += 1
+        else:
+            self._in_flight[serial] = message
+            self._in_flight_counts[serial] = 1
+        self._in_flight_total += 1
+
+    def _untrack(self, message: PhysicalMessage) -> bool:
+        """Account one copy leaving the wire; False if none was tracked."""
+        serial = message.serial
+        count = self._in_flight_counts.get(serial)
+        if count is None:
+            return False
+        if count == 1:
+            del self._in_flight_counts[serial]
+            del self._in_flight[serial]
+        else:
+            self._in_flight_counts[serial] = count - 1
+        self._in_flight_total -= 1
+        return True
+
+    def on_delivered(self, message: PhysicalMessage) -> bool:
+        """The executive hands the message to its LP; stop tracking one
+        copy.  Returns False (and changes nothing) for an over-delivery —
+        a copy that was never tracked, or already fully accounted."""
+        if not self._untrack(message):
+            return False
+        self.delivered_count += 1
+        return True
 
     def in_flight_count(self) -> int:
-        return len(self._in_flight)
+        """Physical copies currently on the wire."""
+        return self._in_flight_total
+
+    def undelivered_data_count(self) -> int:
+        """DATA messages accepted for transport but not yet handed to
+        their LP.  The perfect wire schedules every delivery immediately,
+        so the executive's own pending-delivery counters cover it; a
+        fault-injecting wire holds messages back and must override this
+        for termination detection."""
+        return 0
+
+    def wire_counts(self) -> dict[str, int]:
+        """Conservation view: sent = delivered + lost + in-flight copies
+        must hold at all times (the invariant oracle checks it)."""
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.delivered_count,
+            "lost": self.lost_count,
+            "in_flight": self._in_flight_total,
+        }
 
     def min_in_flight_time(self) -> VirtualTime | None:
         """Smallest event receive-time still on the wire (GVT accounting)."""

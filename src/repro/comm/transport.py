@@ -187,3 +187,96 @@ class CommModule:
 
     def buffered_event_count(self) -> int:
         return sum(len(buffer) for buffer in self._buffers.values())
+
+
+# ---------------------------------------------------------------------- #
+# reliable-channel state machines
+# ---------------------------------------------------------------------- #
+# One sender/receiver pair exists per directed LP channel when the wire
+# injects faults (repro.faults.FaultyNetwork drives them).  They are pure
+# protocol state — sequencing, cumulative acks, dedup, in-order release —
+# with no clocks or scheduling of their own, so they are unit-testable in
+# isolation and add nothing to the perfect-wire fast path.
+
+
+class ReliableSender:
+    """Send half of one directed channel.
+
+    Assigns consecutive per-channel sequence numbers and remembers every
+    unacknowledged message so a timeout can retransmit it.  A cumulative
+    ack for sequence ``n`` settles everything up to and including ``n``.
+    """
+
+    __slots__ = ("next_seq", "pending")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.pending: dict[int, PhysicalMessage] = {}
+
+    def register(self, message: PhysicalMessage, *, track: bool = True) -> int:
+        """Assign the next sequence number; remember it unless ``track``
+        is False (fire-and-forget channels still need seqs for dedup)."""
+        seq = self.next_seq
+        self.next_seq += 1
+        if track:
+            self.pending[seq] = message
+        return seq
+
+    def ack_through(self, cum_seq: int) -> int:
+        """Settle every pending message with seq <= ``cum_seq``; returns
+        how many were newly settled."""
+        settled = [seq for seq in self.pending if seq <= cum_seq]
+        for seq in settled:
+            del self.pending[seq]
+        return len(settled)
+
+    def is_outstanding(self, seq: int) -> bool:
+        return seq in self.pending
+
+
+class ReliableReceiver:
+    """Receive half of one directed channel.
+
+    In ordered mode (the retransmitting transport) it holds back
+    out-of-order arrivals and releases messages strictly in sequence; in
+    unordered mode (fire-and-forget) it only deduplicates, passing unseen
+    messages through immediately in arrival order.
+    """
+
+    __slots__ = ("ordered", "expected", "_held", "_seen")
+
+    def __init__(self, *, ordered: bool = True) -> None:
+        self.ordered = ordered
+        self.expected = 0
+        self._held: dict[int, PhysicalMessage] = {}
+        self._seen: set[int] = set()
+
+    def accept(
+        self, seq: int, message: PhysicalMessage
+    ) -> list[PhysicalMessage] | None:
+        """Process one wire arrival.
+
+        Returns the messages now ready for delivery, in order (possibly
+        empty while waiting for a gap to fill), or None for a duplicate
+        that must be discarded."""
+        if not self.ordered:
+            if seq in self._seen:
+                return None
+            self._seen.add(seq)
+            return [message]
+        if seq < self.expected or seq in self._held:
+            return None
+        self._held[seq] = message
+        ready: list[PhysicalMessage] = []
+        while self.expected in self._held:
+            ready.append(self._held.pop(self.expected))
+            self.expected += 1
+        return ready
+
+    def cumulative_ack(self) -> int:
+        """Highest sequence below which everything was delivered (-1 when
+        nothing has been)."""
+        return self.expected - 1
+
+    def held_count(self) -> int:
+        return len(self._held)

@@ -1,0 +1,20 @@
+"""Deterministic network fault injection (docs/robustness.md).
+
+A seeded :class:`FaultPlan` describes drop/duplicate/delay/reorder
+behaviour; configuring one (``SimulationConfig(faults=plan)``) swaps the
+perfect wire for a :class:`FaultyNetwork` with a reliable transport on
+top.  :mod:`repro.faults.fuzz` sweeps plans differentially against the
+sequential kernel (``repro-bench --faults``).
+"""
+
+from .network import FaultCounters, FaultyNetwork
+from .plan import CLEAN, FaultDecision, FaultPlan, FaultRates
+
+__all__ = [
+    "CLEAN",
+    "FaultCounters",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRates",
+    "FaultyNetwork",
+]

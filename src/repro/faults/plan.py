@@ -1,0 +1,205 @@
+"""Seeded fault plans: deterministic schedules of network misbehaviour.
+
+A :class:`FaultPlan` decides, for every physical-message copy the wire
+carries, whether that copy is dropped, duplicated, delayed, or reordered.
+Decisions are pure functions of ``(plan seed, channel, message kind,
+sequence number, attempt)`` via the same multiplicative-hash idiom the
+network uses for latency jitter — no RNG object, no hidden state — so an
+identical plan replays an identical fault schedule and traces stay
+byte-identical across runs and processes.
+
+Rates resolve most-specific-first: a per-channel override beats a
+per-kind override beats the plan-wide default.  Retransmission attempts
+draw fresh decisions (the attempt number is hashed in), so a drop rate
+below 1.0 cannot starve a message forever once retransmission is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel.errors import ConfigurationError
+
+#: Stable small codes per message kind for hashing (enum identity and
+#: Python's own hash() are not stable across processes).  "ack" is the
+#: transport's internal acknowledgement traffic, which never surfaces as
+#: a PhysicalMessage kind but can still be dropped or delayed by a plan.
+KIND_CODES: dict[str, int] = {
+    "data": 1,
+    "gvt-token": 2,
+    "gvt-broadcast": 3,
+    "ack": 4,
+}
+
+# Per-fault salts keep the four decisions on one copy independent.
+_SALT_DROP = 1
+_SALT_DUPLICATE = 2
+_SALT_DELAY = 3
+_SALT_REORDER = 4
+
+
+def _unit(
+    seed: int, src: int, dst: int, kind_code: int, seq: int, attempt: int,
+    salt: int,
+) -> float:
+    """Deterministic pseudo-random value in [0, 1)."""
+    h = (
+        src * 1_000_003
+        + dst * 10_007
+        + seq * 97
+        + attempt * 6_151
+        + kind_code * 523
+        + salt * 7_919
+        + seed * 104_729
+    )
+    h = (h * 2654435761) % 2**32
+    return h / 2**32
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRates:
+    """Per-copy probabilities of each fault, each in [0, 1]."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+
+    def validate(self, where: str = "rates") -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{where}.{name} must be in [0, 1], got {value!r}"
+                )
+
+    def any_active(self) -> bool:
+        return bool(self.drop or self.duplicate or self.delay or self.reorder)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDecision:
+    """Which faults hit one physical-message copy."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: bool = False
+    reorder: bool = False
+
+
+#: The no-fault decision, shared to keep the common path allocation-free.
+CLEAN = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable description of network misbehaviour.
+
+    ``retransmit=True`` (the default) arms the reliable transport:
+    sequence numbers, cumulative acks, receiver-side dedup with in-order
+    release, and timeout retransmission with exponential backoff — the
+    kernel then survives any fault mix.  ``retransmit=False`` models a
+    fire-and-forget wire: dropped copies are permanently lost (and the
+    invariant oracle is expected to notice), duplicates are still
+    deduplicated, but arrival order is whatever the faults produce.
+    """
+
+    seed: int = 0
+    #: plan-wide default rates
+    rates: FaultRates = field(default_factory=FaultRates)
+    #: per-message-kind overrides, keyed by kind value ("data", "gvt-token",
+    #: "gvt-broadcast", "ack")
+    per_kind: dict[str, FaultRates] = field(default_factory=dict)
+    #: per-directed-channel overrides, keyed by (src_lp, dst_lp)
+    per_channel: dict[tuple[int, int], FaultRates] = field(default_factory=dict)
+    #: reliable transport on/off (see class docstring)
+    retransmit: bool = True
+    #: initial retransmission timeout (modelled microseconds)
+    rto: float = 4_000.0
+    #: multiplicative backoff applied per retransmission attempt
+    backoff: float = 1.6
+    #: give up (raise TransportFailureError) after this many retransmits
+    max_retransmits: int = 24
+    #: latency multiplier for a delayed copy
+    delay_factor: float = 3.0
+    #: latency multiplier for a reordered copy — large enough that later
+    #: traffic on the channel overtakes it
+    reorder_factor: float = 5.0
+    #: wire lag between a copy and its injected duplicate (microseconds)
+    duplicate_lag: float = 600.0
+
+    def validate(self) -> None:
+        self.rates.validate("rates")
+        for kind, rates in self.per_kind.items():
+            if kind not in KIND_CODES:
+                raise ConfigurationError(
+                    f"per_kind key {kind!r} is not a known message kind "
+                    f"(expected one of {sorted(KIND_CODES)})"
+                )
+            rates.validate(f"per_kind[{kind!r}]")
+        for channel, rates in self.per_channel.items():
+            rates.validate(f"per_channel[{channel!r}]")
+        if self.rto <= 0.0:
+            raise ConfigurationError(f"rto must be positive, got {self.rto!r}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1, got {self.backoff!r}"
+            )
+        if self.max_retransmits < 0:
+            raise ConfigurationError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits!r}"
+            )
+        for name in ("delay_factor", "reorder_factor"):
+            if getattr(self, name) < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r}"
+                )
+        if self.duplicate_lag < 0.0:
+            raise ConfigurationError(
+                f"duplicate_lag must be >= 0, got {self.duplicate_lag!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def rates_for(self, channel: tuple[int, int], kind: str) -> FaultRates:
+        """Resolve the effective rates: channel > kind > plan default."""
+        rates = self.per_channel.get(channel)
+        if rates is not None:
+            return rates
+        rates = self.per_kind.get(kind)
+        if rates is not None:
+            return rates
+        return self.rates
+
+    def decide(
+        self, channel: tuple[int, int], kind: str, seq: int, attempt: int = 0
+    ) -> FaultDecision:
+        """The fault outcome for one copy — pure and replayable."""
+        rates = self.rates_for(channel, kind)
+        if not rates.any_active():
+            return CLEAN
+        src, dst = channel
+        code = KIND_CODES.get(kind, 0)
+        drop = rates.drop > 0.0 and (
+            _unit(self.seed, src, dst, code, seq, attempt, _SALT_DROP)
+            < rates.drop
+        )
+        if drop:
+            # A dropped copy never reaches the wire; the other faults are moot.
+            return FaultDecision(drop=True)
+        duplicate = rates.duplicate > 0.0 and (
+            _unit(self.seed, src, dst, code, seq, attempt, _SALT_DUPLICATE)
+            < rates.duplicate
+        )
+        delay = rates.delay > 0.0 and (
+            _unit(self.seed, src, dst, code, seq, attempt, _SALT_DELAY)
+            < rates.delay
+        )
+        reorder = rates.reorder > 0.0 and (
+            _unit(self.seed, src, dst, code, seq, attempt, _SALT_REORDER)
+            < rates.reorder
+        )
+        if not (duplicate or delay or reorder):
+            return CLEAN
+        return FaultDecision(
+            duplicate=duplicate, delay=delay, reorder=reorder
+        )

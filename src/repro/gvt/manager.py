@@ -85,6 +85,9 @@ class OmniscientGVT:
         for lp in executive.lps:
             lp.charge(lp.costs.gvt_participation_cost)
             lp.stats.gvt_rounds += 1
+        oracle = executive.oracle
+        if oracle.enabled:
+            oracle.on_gvt_estimate(executive.wallclock, estimate, self.gvt)
         tracer = executive.tracer
         if tracer.enabled:
             tracer.emit(

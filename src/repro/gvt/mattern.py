@@ -157,7 +157,13 @@ class MatternGVT:
         self._stamps[message.serial] = stamp
 
     def observe_receive(self, message: PhysicalMessage) -> None:
-        stamp = self._stamps.pop(message.serial, 0)
+        stamp = self._stamps.pop(message.serial, None)
+        if stamp is None:
+            # Retransmit safety: a fault-injecting wire may hand the same
+            # logical message to the kernel only once (dedup), but a
+            # defensively re-observed serial must not count as a second
+            # receive — colouring counts logical messages, not copies.
+            return
         self._agents[message.dst_lp].note_receive(stamp)
 
     # ------------------------------------------------------------------ #
@@ -215,6 +221,9 @@ class MatternGVT:
 
     def _commit(self, estimate: VirtualTime) -> None:
         executive = self._executive
+        oracle = executive.oracle
+        if oracle.enabled:
+            oracle.on_gvt_estimate(executive.wallclock, estimate, self.gvt)
         tracer = executive.tracer
         if tracer.enabled:
             tracer.emit(

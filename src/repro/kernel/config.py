@@ -25,6 +25,8 @@ from .simobject import SimulationObject
 if TYPE_CHECKING:  # pragma: no cover - avoids a kernel <-> comm import cycle
     from ..comm.aggregation import AggregationPolicy
     from ..core.window_controller import TimeWindowPolicy
+    from ..faults.plan import FaultPlan
+    from ..oracle.invariants import InvariantOracle
     from ..trace.tracer import Tracer
 
 CancellationFactory = Callable[[SimulationObject], CancellationPolicy]
@@ -102,6 +104,16 @@ class SimulationConfig:
     #: record committed (object, time, payload) triples for equivalence tests
     record_trace: bool = False
 
+    #: optional :class:`repro.faults.FaultPlan`: replace the perfect wire
+    #: with a fault-injecting one (docs/robustness.md).  ``None`` (the
+    #: default) keeps the zero-overhead perfect wire.
+    faults: "FaultPlan | None" = None
+
+    #: optional :class:`repro.oracle.InvariantOracle` checking Time Warp
+    #: invariants during the run (docs/robustness.md).  ``None`` (the
+    #: default) costs one attribute check per potential hook.
+    oracle: "InvariantOracle | None" = None
+
     def validate(self) -> None:
         if self.gvt_algorithm not in ("omniscient", "mattern"):
             raise ConfigurationError(
@@ -116,6 +128,8 @@ class SimulationConfig:
                 raise ConfigurationError(
                     f"speed factor for LP {lp_id} must be positive, got {factor}"
                 )
+        if self.faults is not None:
+            self.faults.validate()
 
     def costs_for_lp(self, lp_id: int) -> CostModel:
         factor = self.lp_speed_factors.get(lp_id, 1.0)

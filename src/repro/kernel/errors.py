@@ -40,6 +40,22 @@ class TerminationError(TimeWarpError):
     """The executive could not reach quiescence (e.g. leaked messages)."""
 
 
+class TransportFailureError(TimeWarpError):
+    """The reliable transport gave up on a message.
+
+    Raised when a physical message exhausted its retransmission budget
+    under fault injection — the modelled channel is effectively severed.
+    """
+
+
+class InvariantViolationError(TimeWarpError):
+    """A Time Warp runtime invariant was violated (strict oracle mode).
+
+    The non-strict oracle records violations for post-run inspection
+    instead of raising; see :mod:`repro.oracle`.
+    """
+
+
 class ApplicationError(TimeWarpError):
     """An application's ``execute_process`` raised.
 

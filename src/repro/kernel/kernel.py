@@ -17,6 +17,7 @@ from ..comm.transport import CommModule
 from ..cluster.executive import Executive
 from ..gvt.manager import OmniscientGVT
 from ..gvt.mattern import MatternGVT
+from ..oracle.invariants import NULL_ORACLE
 from ..stats.counters import RunStats
 from ..trace.tracer import NULL_TRACER
 from .config import SimulationConfig
@@ -74,10 +75,17 @@ class TimeWarpSimulation:
         # --- executive, transport, GVT -----------------------------------
         tracer = self.config.tracer if self.config.tracer is not None else NULL_TRACER
         self.tracer = tracer
+        oracle = self.config.oracle if self.config.oracle is not None else NULL_ORACLE
+        if oracle.enabled and oracle.tracer is NULL_TRACER:
+            oracle.tracer = tracer
+        self.oracle = oracle
         self.executive = Executive(self.lps, self.config)
         self.executive.tracer = tracer
+        self.executive.oracle = oracle
+        self.executive.network.tracer = tracer
         for lp in self.lps:
             lp.tracer = tracer
+            lp.oracle = oracle
             comm = CommModule(
                 host=lp,
                 network=self.executive.network,
@@ -187,6 +195,9 @@ class TimeWarpSimulation:
 
     def _finish(self) -> RunStats:
         self._finished = True
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_run_end(self.executive)
         # Final commit: quiescence means nothing below the horizon can
         # change any more, so everything processed is committed.
         for lp in self.lps:

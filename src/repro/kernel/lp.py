@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..cluster.costmodel import CostModel
+from ..oracle.invariants import NULL_ORACLE
 from ..stats.counters import LPStats, ObjectStats
 from ..trace.tracer import NULL_TRACER
 from .cancellation import CancellationPolicy, ComparisonBuffer, Mode
@@ -117,6 +118,9 @@ class LogicalProcess:
         #: structured observability tracer (repro.trace); NULL_TRACER when
         #: tracing is off, so emission sites cost one attribute check
         self.tracer = NULL_TRACER
+        #: runtime invariant oracle (repro.oracle); NULL_ORACLE when off,
+        #: same zero-cost guard discipline as the tracer
+        self.oracle = NULL_ORACLE
         #: optional committed-event trace recorder (tests / debugging)
         self.trace_sink: Callable[[Event], None] | None = None
         #: set by the executive so arrivals can wake an idle LP
@@ -157,14 +161,16 @@ class LogicalProcess:
         for ctx in self._member_list:
             ctx.current_cause_key = INITIAL_KEY
             ctx.obj.initialize()
-            ctx.sq.save(
-                SavedState(
-                    last_key=None,
-                    lvt=0.0,
-                    event_count=0,
-                    state=ctx.state.copy(),
-                )
+            saved = SavedState(
+                last_key=None,
+                lvt=0.0,
+                event_count=0,
+                state=ctx.state.copy(),
             )
+            ctx.sq.save(saved)
+            oracle = self.oracle
+            if oracle.enabled:
+                oracle.on_state_save(self.clock, self.lp_id, ctx.obj.name, saved)
 
     # ------------------------------------------------------------------ #
     # wall clock
@@ -249,6 +255,13 @@ class LogicalProcess:
         ctx.lvt = snapshot.lvt
         ctx.event_count = snapshot.event_count
         ctx.events_since_save = 0
+
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_rollback(self.clock, self.lp_id, ctx.obj.name, key.recv_time)
+            oracle.on_state_restore(
+                self.clock, self.lp_id, ctx.obj.name, snapshot, ctx.state
+            )
 
         # Undo sends caused at or after the rollback point, according to
         # the strategy currently in force at this object.
@@ -516,15 +529,17 @@ class LogicalProcess:
         size = ctx.state.size_bytes()
         cost = self.costs.state_save(size)
         self.charge(cost)
-        ctx.sq.save(
-            SavedState(
-                last_key=last_key,
-                lvt=ctx.lvt,
-                event_count=ctx.event_count,
-                state=ctx.state.copy(),
-                save_cost=cost,
-            )
+        saved = SavedState(
+            last_key=last_key,
+            lvt=ctx.lvt,
+            event_count=ctx.event_count,
+            state=ctx.state.copy(),
+            save_cost=cost,
         )
+        ctx.sq.save(saved)
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_state_save(self.clock, self.lp_id, ctx.obj.name, saved)
         ctx.events_since_save = 0
         ctx.stats.state_saves += 1
         ctx.ckpt_window.saves += 1

@@ -1,0 +1,21 @@
+"""Runtime invariant oracle for the Time Warp kernel (off by default).
+
+See :mod:`repro.oracle.invariants` for the invariants checked and
+``docs/robustness.md`` for the workflow.
+"""
+
+from .invariants import (
+    NULL_ORACLE,
+    InvariantOracle,
+    InvariantViolation,
+    NullOracle,
+    state_digest,
+)
+
+__all__ = [
+    "NULL_ORACLE",
+    "InvariantOracle",
+    "InvariantViolation",
+    "NullOracle",
+    "state_digest",
+]

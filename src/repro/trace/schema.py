@@ -211,6 +211,49 @@ RECORD_TYPES: dict[str, RecordSpec] = {
                 ("trigger", "str", '"age" | "capacity" | "drain"'),
             ),
         ),
+        RecordSpec(
+            "fault.inject",
+            "One injected network fault applied to one physical-message "
+            "copy by the fault-injecting wire (docs/robustness.md).",
+            _f(
+                ("fault", "str", '"drop" | "duplicate" | "delay" | "reorder"'),
+                ("src_lp", "int", "sending LP id"),
+                ("dst_lp", "int", "destination LP id"),
+                ("serial", "int",
+                 "run-relative physical message serial "
+                 "(-1 for transport-internal acks)"),
+                ("seq", "int", "per-channel transport sequence number"),
+                ("attempt", "int", "transmission attempt (0 = first send)"),
+                ("msg_kind", "str",
+                 '"data" | "gvt-token" | "gvt-broadcast" | "ack"'),
+                ("lost", "bool",
+                 "whether the copy is permanently lost (drops only)", False),
+            ),
+        ),
+        RecordSpec(
+            "net.retransmit",
+            "One timeout-driven retransmission of an unacknowledged "
+            "physical message by the reliable transport.",
+            _f(
+                ("src_lp", "int", "sending LP id"),
+                ("dst_lp", "int", "destination LP id"),
+                ("serial", "int", "run-relative physical message serial"),
+                ("seq", "int", "per-channel transport sequence number"),
+                ("attempt", "int", "retransmission number (1 = first retry)"),
+                ("rto", "number", "the retransmission timeout (us) that expired"),
+            ),
+        ),
+        RecordSpec(
+            "oracle.violation",
+            "One Time Warp invariant violation detected by the runtime "
+            "oracle (docs/robustness.md).",
+            _f(
+                ("invariant", "str",
+                 '"gvt_monotonic" | "gvt_safety" | "state_fidelity" | '
+                 '"anti_pairing" | "wire_conservation" | "message_loss"'),
+                ("detail", "str", "human-readable specifics of the violation"),
+            ),
+        ),
     )
 }
 

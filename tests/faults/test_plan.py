@@ -1,0 +1,168 @@
+"""Unit tests for seeded fault plans."""
+
+import pytest
+
+from repro.faults.plan import (
+    CLEAN,
+    KIND_CODES,
+    FaultPlan,
+    FaultRates,
+    _unit,
+)
+from repro.kernel.errors import ConfigurationError
+
+
+class TestUnitHash:
+    def test_range(self):
+        for seq in range(500):
+            u = _unit(7, 0, 1, 1, seq, 0, 1)
+            assert 0.0 <= u < 1.0
+
+    def test_pure_function(self):
+        args = (3, 0, 1, 1, 42, 2, 4)
+        assert _unit(*args) == _unit(*args)
+
+    def test_inputs_are_independent(self):
+        base = _unit(0, 0, 1, 1, 0, 0, 1)
+        assert _unit(1, 0, 1, 1, 0, 0, 1) != base  # seed
+        assert _unit(0, 2, 1, 1, 0, 0, 1) != base  # src
+        assert _unit(0, 0, 1, 1, 1, 0, 1) != base  # seq
+        assert _unit(0, 0, 1, 1, 0, 1, 1) != base  # attempt
+        assert _unit(0, 0, 1, 1, 0, 0, 2) != base  # salt
+
+
+class TestFaultRates:
+    def test_defaults_inactive(self):
+        assert not FaultRates().any_active()
+
+    def test_any_single_rate_activates(self):
+        assert FaultRates(drop=0.1).any_active()
+        assert FaultRates(duplicate=0.1).any_active()
+        assert FaultRates(delay=0.1).any_active()
+        assert FaultRates(reorder=0.1).any_active()
+
+    @pytest.mark.parametrize("field", ["drop", "duplicate", "delay", "reorder"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_validate_rejects_out_of_range(self, field, bad):
+        with pytest.raises(ConfigurationError, match=field):
+            FaultRates(**{field: bad}).validate()
+
+
+class TestRateResolution:
+    def test_default_rates_apply(self):
+        plan = FaultPlan(rates=FaultRates(drop=0.5))
+        assert plan.rates_for((0, 1), "data").drop == 0.5
+
+    def test_per_kind_beats_default(self):
+        plan = FaultPlan(
+            rates=FaultRates(drop=0.5),
+            per_kind={"ack": FaultRates(drop=0.9)},
+        )
+        assert plan.rates_for((0, 1), "ack").drop == 0.9
+        assert plan.rates_for((0, 1), "data").drop == 0.5
+
+    def test_per_channel_beats_per_kind(self):
+        plan = FaultPlan(
+            rates=FaultRates(drop=0.5),
+            per_kind={"data": FaultRates(drop=0.9)},
+            per_channel={(2, 3): FaultRates()},
+        )
+        assert plan.rates_for((2, 3), "data").drop == 0.0
+        assert plan.rates_for((0, 1), "data").drop == 0.9
+
+
+class TestDecide:
+    def test_zero_rates_return_shared_clean(self):
+        plan = FaultPlan()
+        assert plan.decide((0, 1), "data", 0) is CLEAN
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(
+            seed=11,
+            rates=FaultRates(drop=0.2, duplicate=0.2, delay=0.2, reorder=0.2),
+        )
+        twin = FaultPlan(
+            seed=11,
+            rates=FaultRates(drop=0.2, duplicate=0.2, delay=0.2, reorder=0.2),
+        )
+        for seq in range(200):
+            for attempt in range(3):
+                assert plan.decide((0, 1), "data", seq, attempt) == (
+                    twin.decide((0, 1), "data", seq, attempt)
+                )
+
+    def test_seed_changes_the_schedule(self):
+        rates = FaultRates(drop=0.3, duplicate=0.3, delay=0.3, reorder=0.3)
+        a = FaultPlan(seed=0, rates=rates)
+        b = FaultPlan(seed=1, rates=rates)
+        decisions_a = [a.decide((0, 1), "data", s) for s in range(100)]
+        decisions_b = [b.decide((0, 1), "data", s) for s in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_drop_one_always_drops_and_shortcircuits(self):
+        plan = FaultPlan(
+            rates=FaultRates(drop=1.0, duplicate=1.0, delay=1.0, reorder=1.0)
+        )
+        for seq in range(50):
+            decision = plan.decide((0, 1), "data", seq)
+            assert decision.drop
+            assert not (decision.duplicate or decision.delay or decision.reorder)
+
+    def test_attempts_draw_fresh_decisions(self):
+        # A 0.5 drop rate must not doom every retransmission of one copy.
+        plan = FaultPlan(seed=5, rates=FaultRates(drop=0.5))
+        for seq in range(30):
+            if any(
+                not plan.decide((0, 1), "data", seq, attempt).drop
+                for attempt in range(8)
+            ):
+                break
+        else:
+            pytest.fail("every attempt of every seq dropped at rate 0.5")
+
+    def test_rates_observed_approximately(self):
+        plan = FaultPlan(seed=9, rates=FaultRates(drop=0.25))
+        n = 4000
+        drops = sum(
+            plan.decide((0, 1), "data", seq).drop for seq in range(n)
+        )
+        assert 0.2 < drops / n < 0.3
+
+    def test_kind_changes_the_schedule(self):
+        plan = FaultPlan(seed=2, rates=FaultRates(drop=0.4))
+        data = [plan.decide((0, 1), "data", s).drop for s in range(100)]
+        token = [plan.decide((0, 1), "gvt-token", s).drop for s in range(100)]
+        assert data != token
+
+
+class TestPlanValidate:
+    def test_default_plan_is_valid(self):
+        FaultPlan().validate()
+
+    def test_unknown_per_kind_key(self):
+        with pytest.raises(ConfigurationError, match="per_kind"):
+            FaultPlan(per_kind={"bogus": FaultRates()}).validate()
+
+    def test_nested_rates_are_validated(self):
+        with pytest.raises(ConfigurationError, match="per_channel"):
+            FaultPlan(
+                per_channel={(0, 1): FaultRates(drop=2.0)}
+            ).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rto": 0.0},
+            {"backoff": 0.5},
+            {"max_retransmits": -1},
+            {"delay_factor": 0.9},
+            {"reorder_factor": 0.0},
+            {"duplicate_lag": -1.0},
+        ],
+    )
+    def test_transport_knobs_are_validated(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs).validate()
+
+    def test_kind_codes_cover_transport_traffic(self):
+        assert set(KIND_CODES) == {"data", "gvt-token", "gvt-broadcast", "ack"}

@@ -1,0 +1,161 @@
+"""``repro-trace`` CLI tests over fault-injected traces.
+
+Complements the clean-run CLI smoke tests in test_trace_integration.py:
+drives every subcommand against traces that contain the fault-layer
+record types (``fault.inject``, ``net.retransmit``, ``oracle.violation``)
+and exercises the error exits (1 = empty/invalid result, 2 = unreadable
+or malformed trace).
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    FaultRates,
+    InvariantOracle,
+    SimulationConfig,
+    TimeWarpSimulation,
+)
+from repro.apps.phold import PHOLDParams, build_phold
+from repro.trace import Tracer, load_trace, read_trace
+from repro.trace.cli import main as trace_cli
+
+
+def _faulted_run(path, *, retransmit=True):
+    """One PHOLD run over a faulty wire, traced to ``path``."""
+    rates = (
+        FaultRates(drop=0.1, duplicate=0.1, delay=0.05, reorder=0.1)
+        if retransmit
+        else FaultRates(drop=0.15)
+    )
+    with Tracer.to_path(path) as tracer:
+        config = SimulationConfig(
+            end_time=250.0,
+            faults=FaultPlan(seed=5, rates=rates, retransmit=retransmit),
+            oracle=InvariantOracle(),
+            gvt_algorithm="omniscient" if not retransmit else "mattern",
+            tracer=tracer,
+        )
+        sim = TimeWarpSimulation(
+            build_phold(
+                PHOLDParams(n_objects=6, n_lps=3, jobs_per_object=2, seed=7)
+            ),
+            config,
+        )
+        sim.run()
+    return path
+
+
+@pytest.fixture(scope="module")
+def faulted_path(tmp_path_factory):
+    """A reliable faulted run: fault.inject + net.retransmit records."""
+    return _faulted_run(
+        tmp_path_factory.mktemp("cli") / "faulted.jsonl", retransmit=True
+    )
+
+
+@pytest.fixture(scope="module")
+def lossy_path(tmp_path_factory):
+    """A fire-and-forget lossy run: oracle.violation records."""
+    return _faulted_run(
+        tmp_path_factory.mktemp("cli") / "lossy.jsonl", retransmit=False
+    )
+
+
+class TestFaultRecordCoverage:
+    def test_fault_types_are_emitted_and_valid(self, faulted_path, lossy_path):
+        seen = {r["type"] for r in read_trace(faulted_path)}
+        seen |= {r["type"] for r in read_trace(lossy_path)}
+        assert {"fault.inject", "net.retransmit", "oracle.violation"} <= seen
+
+    def test_validate_accepts_faulted_traces(
+        self, faulted_path, lossy_path, capsys
+    ):
+        assert trace_cli(["validate", str(faulted_path)]) == 0
+        assert trace_cli(["validate", str(lossy_path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+
+class TestSummarize:
+    def test_counts_fault_records(self, faulted_path, capsys):
+        assert trace_cli(["summarize", str(faulted_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault.inject" in out
+        assert "net.retransmit" in out
+
+
+class TestFilter:
+    def test_filter_by_fault_type(self, faulted_path, capsys):
+        assert trace_cli(
+            ["filter", str(faulted_path), "--type", "fault.inject"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] == "fault.inject"
+            assert record["fault"] in {"drop", "duplicate", "delay", "reorder"}
+
+    def test_filter_limit_truncates(self, faulted_path, capsys):
+        total = len(load_trace(faulted_path, types=("fault.inject",)))
+        assert total > 2
+        assert trace_cli(
+            ["filter", str(faulted_path), "--type", "fault.inject",
+             "--limit", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2
+        assert f"{total - 2} more" in captured.err
+
+    def test_filter_combined_type_and_lp(self, faulted_path, capsys):
+        assert trace_cli(
+            ["filter", str(faulted_path), "--type", "rollback", "--lp", "0"]
+        ) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            record = json.loads(line)
+            assert record["type"] == "rollback"
+            assert record["lp"] == 0
+
+    def test_filter_rejects_unknown_type(self, faulted_path, capsys):
+        with pytest.raises(SystemExit):
+            trace_cli(["filter", str(faulted_path), "--type", "bogus"])
+
+
+class TestTimeline:
+    def test_timeline_lists_rollbacks(self, faulted_path, capsys):
+        rolls = load_trace(faulted_path, types=("rollback",))
+        assert rolls
+        obj = rolls[0]["obj"]
+        assert trace_cli(["timeline", str(faulted_path), "--obj", obj]) == 0
+        out = capsys.readouterr().out
+        assert f"object {obj}" in out
+        assert "rollback" in out
+
+
+class TestErrorExits:
+    def test_missing_file_is_2(self, tmp_path, capsys):
+        assert trace_cli(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-trace" in capsys.readouterr().err
+
+    def test_malformed_line_is_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert trace_cli(["summarize", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_validate_flags_bad_fault_record(self, tmp_path, capsys):
+        bad = tmp_path / "badfault.jsonl"
+        bad.write_text(
+            '{"type":"fault.inject","seq":0,"t":0.0,"fault":"drop",'
+            '"src_lp":0,"dst_lp":1,"serial":3,"seq_no":1}\n'
+        )
+        assert trace_cli(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_timeline_without_matches_is_1(self, faulted_path, capsys):
+        assert trace_cli(
+            ["timeline", str(faulted_path), "--obj", "no-such-object"]
+        ) == 1
+        assert "no records" in capsys.readouterr().err
