@@ -215,7 +215,6 @@ def build_ripple_adder(params: AdderParams | None = None):
         return list(dests)
 
     for i in range(params.bits):
-        carry_in_dest = []  # filled below: who consumes c_i
         # xor1 = a ^ b ; feeds sum xor and the carry-select and2
         gates.append(Gate(f"xor1-{i}", "xor",
                           fan((f"xor2-{i}", 0), (f"and2-{i}", 0))))

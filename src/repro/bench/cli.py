@@ -1,12 +1,17 @@
-"""Command-line entry point: regenerate any figure of the paper.
+"""Command-line entry point for every benchmark family.
 
-Examples::
+Subcommands::
 
-    repro-bench --fig 5                 # quick, scaled-down
-    repro-bench --fig 8 --scale 0.3     # closer to paper size
-    repro-bench --fig 6 --full          # the paper's workload sizes
-    repro-bench --all                   # every figure, quick scale
-    repro-bench --ablation checkpoint   # ablation studies (DESIGN.md A1-A4)
+    repro-bench figures --fig 5            # regenerate a paper figure
+    repro-bench figures --all              # every figure, quick scale
+    repro-bench figures --ablation checkpoint
+    repro-bench faults --plans 100         # differential fault fuzzing
+    repro-bench perf --quick               # wall-clock perf suite
+    repro-bench perf --compare benchmarks/baseline.json --fail-on-regress 25
+
+Back-compat: the original flat spellings keep working — ``repro-bench
+--fig 5``, ``repro-bench --faults``, ``repro-bench --all`` and friends
+dispatch to the same runners as their subcommand forms.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ _SERIES_META = {
     "9": ("agg age (us)", "Figure 9 — RAID: DyMA execution time vs aggregate age"),
 }
 
+_SUBCOMMANDS = ("figures", "faults", "perf")
+
 
 def render(fig: str, results) -> str:
     if fig == "5":
@@ -38,12 +45,10 @@ def render(fig: str, results) -> str:
     return render_results(results, f"Experiment {fig}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-bench",
-        description="Regenerate the figures of 'On-line Configuration of a "
-                    "Time Warp Parallel Discrete Event Simulator' (ICPP 98).",
-    )
+# --------------------------------------------------------------------- #
+# argument groups (shared between subcommand and legacy spellings)
+# --------------------------------------------------------------------- #
+def _add_figure_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fig", choices=sorted(FIGURES),
                         help="figure to regenerate (5..9 or 'baseline')")
     parser.add_argument("--all", action="store_true",
@@ -62,25 +67,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="DIR",
                         help="dump a controller-decision trace (JSONL, see "
                              "docs/observability.md) per replicate into DIR")
-    parser.add_argument("--faults", action="store_true",
-                        help="run the differential fault-injection fuzz "
-                             "sweep instead of a figure (docs/robustness.md)")
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--plans", type=int, default=100,
-                        help="seeded fault plans to sweep with --faults")
-    args = parser.parse_args(argv)
+                        help="seeded fault plans to sweep")
 
-    if args.faults:
-        from ..faults.fuzz import run_fuzz
 
-        start = time.perf_counter()
-        report = run_fuzz(plans=args.plans)
-        print(report.render())
-        print(f"\n[{time.perf_counter() - start:.1f}s wall]")
-        return 0 if report.ok else 1
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads (~1 min for the full suite)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per benchmark")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup repetitions per benchmark")
+    parser.add_argument("--only", metavar="SUBSTR",
+                        help="run only benchmarks whose name contains SUBSTR")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="output document path (default: BENCH_3.json; "
+                             "'-' skips writing)")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="diff this run against a baseline document")
+    parser.add_argument("--fail-on-regress", type=float, default=None,
+                        metavar="PCT",
+                        help="with --compare: exit non-zero if any "
+                             "benchmark's rate drops more than PCT percent "
+                             "or its deterministic counters drift")
 
+
+# --------------------------------------------------------------------- #
+# runners
+# --------------------------------------------------------------------- #
+def run_figures(args: argparse.Namespace) -> int:
     if not (args.fig or args.all or args.ablation):
-        parser.error("choose --fig N, --all, --ablation NAME, or --faults")
-
+        raise SystemExit(
+            "repro-bench figures: choose --fig N, --all or --ablation NAME"
+        )
     if args.trace:
         harness.set_trace_dir(args.trace)
         print(f"tracing every replicate into {args.trace}/ "
@@ -112,6 +134,123 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(dump, fh, indent=2, default=str)
         print(f"raw results written to {args.json}")
     return 0
+
+
+def run_faults(args: argparse.Namespace) -> int:
+    from ..faults.fuzz import run_fuzz
+
+    start = time.perf_counter()
+    report = run_fuzz(plans=args.plans)
+    print(report.render())
+    print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+    return 0 if report.ok else 1
+
+
+def run_perf(args: argparse.Namespace) -> int:
+    from .perf.report import (
+        DEFAULT_OUTPUT,
+        compare_documents,
+        load_document,
+        make_document,
+        render_document,
+        write_document,
+    )
+    from .perf.suite import run_suite
+
+    start = time.perf_counter()
+    results = run_suite(
+        quick=args.quick,
+        reps=args.reps,
+        warmup=args.warmup,
+        only=args.only,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    document = make_document(
+        results, quick=args.quick, reps=args.reps, warmup=args.warmup
+    )
+    print(render_document(document))
+    print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+
+    out = args.out if args.out is not None else DEFAULT_OUTPUT
+    if out != "-":
+        path = write_document(document, out)
+        print(f"document written to {path}")
+
+    if args.compare:
+        baseline = load_document(args.compare)
+        comparison = compare_documents(
+            baseline, document, fail_on_regress=args.fail_on_regress
+        )
+        print()
+        print(f"comparison vs {args.compare}:")
+        print(comparison.render())
+        if args.fail_on_regress is not None and not comparison.ok:
+            return 1
+    elif args.fail_on_regress is not None:
+        raise SystemExit("--fail-on-regress requires --compare BASELINE.json")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def _build_subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmarks for the Time Warp reproduction: paper "
+                    "figures, fault-injection fuzzing, and wall-clock "
+                    "performance (docs/benchmarking.md).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's figures and ablations")
+    _add_figure_args(figures)
+    figures.set_defaults(runner=run_figures)
+    faults = subparsers.add_parser(
+        "faults", help="differential fault-injection fuzz sweep")
+    _add_fault_args(faults)
+    faults.set_defaults(runner=run_faults)
+    perf = subparsers.add_parser(
+        "perf", help="wall-clock performance suite (emits BENCH_3.json)")
+    _add_perf_args(perf)
+    perf.set_defaults(runner=run_perf)
+    return parser
+
+
+def _build_legacy_parser() -> argparse.ArgumentParser:
+    """The original flat interface, kept as an alias layer."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of 'On-line Configuration of a "
+                    "Time Warp Parallel Discrete Event Simulator' (ICPP 98).",
+    )
+    _add_figure_args(parser)
+    parser.add_argument("--faults", action="store_true",
+                        help="alias for the 'faults' subcommand")
+    parser.add_argument("--perf", action="store_true",
+                        help="alias for the 'perf' subcommand")
+    _add_fault_args(parser)
+    _add_perf_args(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        parser = _build_subcommand_parser()
+        args = parser.parse_args(argv)
+        return args.runner(args)
+
+    parser = _build_legacy_parser()
+    args = parser.parse_args(argv)
+    if args.faults:
+        return run_faults(args)
+    if args.perf:
+        return run_perf(args)
+    if not (args.fig or args.all or args.ablation):
+        parser.error("choose a subcommand (figures/faults/perf) or "
+                     "--fig N, --all, --ablation NAME, --faults, --perf")
+    return run_figures(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,35 @@
+"""Continuous performance benchmarking of the reproduction itself.
+
+Where :mod:`repro.bench.figures` regenerates the *paper's* results in
+modelled time, this package measures the *implementation's* wall-clock
+performance: how many events per real second the kernel commits, how
+expensive a checkpoint save/restore is, what a rollback storm costs.
+Every benchmark pairs its timings with deterministic model counters
+(committed events, rollbacks, operation counts) so runs are comparable
+across machines and regressions are separable from model drift.
+
+Entry points:
+
+* ``repro-bench perf`` — run the suite, emit ``BENCH_3.json``;
+* ``repro-bench perf --compare BASELINE.json --fail-on-regress PCT`` —
+  diff two runs, exit non-zero on regression (the CI gate);
+* :func:`repro.bench.perf.suite.run_suite` — the library API.
+
+The JSON schema is documented in ``docs/benchmarking.md``; a drift-guard
+test keeps the two in sync.
+"""
+
+from .report import SCHEMA_VERSION, compare_documents, make_document, write_document
+from .suite import REGISTRY, run_suite
+from .timing import TimingStats, measure
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "REGISTRY",
+    "TimingStats",
+    "compare_documents",
+    "make_document",
+    "measure",
+    "run_suite",
+    "write_document",
+]

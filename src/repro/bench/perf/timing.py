@@ -1,0 +1,105 @@
+"""Steady-state timing loops.
+
+The measurement protocol is the standard one for wall-clock
+micro-benchmarks: run the workload a few times untimed (warmup — imports,
+allocator pools, branch caches), then time ``reps`` repetitions and report
+the distribution.  The *minimum* is the headline number: wall-clock noise
+on a shared machine is strictly additive, so the minimum is the best
+estimate of the true cost, while median/stddev expose how noisy the run
+was (CI gates use a generous threshold for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: A workload returns ``(ops, counters)``: how many operations one
+#: repetition performed (the rate denominator) and a dict of deterministic
+#: model counters (identical across repetitions and across machines).
+Workload = Callable[[], tuple[int, dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Distribution of one benchmark's repetition times, in seconds."""
+
+    reps: int
+    warmup: int
+    min_s: float
+    median_s: float
+    mean_s: float
+    stddev_s: float
+
+    @staticmethod
+    def from_times(times: list[float], warmup: int) -> "TimingStats":
+        if not times:
+            raise ValueError("at least one timed repetition is required")
+        ordered = sorted(times)
+        n = len(ordered)
+        mid = n // 2
+        median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+        mean = sum(ordered) / n
+        variance = sum((t - mean) ** 2 for t in ordered) / n
+        return TimingStats(
+            reps=n,
+            warmup=warmup,
+            min_s=ordered[0],
+            median_s=median,
+            mean_s=mean,
+            stddev_s=math.sqrt(variance),
+        )
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark's timings plus its deterministic side of the story."""
+
+    timing: TimingStats
+    ops: int
+    counters: dict[str, Any]
+
+    @property
+    def rate_per_s(self) -> float:
+        """Operations per second at the best observed repetition."""
+        if self.timing.min_s <= 0.0:
+            return float("inf")
+        return self.ops / self.timing.min_s
+
+
+def measure(workload: Workload, *, reps: int = 3, warmup: int = 1) -> Measurement:
+    """Time ``reps`` steady-state repetitions of ``workload``.
+
+    The workload's ``(ops, counters)`` return must be identical on every
+    repetition — benchmarks here are deterministic simulations, so any
+    drift between repetitions is a bug and raises immediately rather than
+    silently polluting the baseline.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        workload()
+    times: list[float] = []
+    reference: tuple[int, dict[str, Any]] | None = None
+    for rep in range(reps):
+        start = time.perf_counter()
+        result = workload()
+        times.append(time.perf_counter() - start)
+        if reference is None:
+            reference = result
+        elif result != reference:
+            raise RuntimeError(
+                f"non-deterministic benchmark: repetition {rep} returned "
+                f"{result!r}, expected {reference!r}"
+            )
+    assert reference is not None
+    ops, counters = reference
+    return Measurement(
+        timing=TimingStats.from_times(times, warmup),
+        ops=ops,
+        counters=dict(counters),
+    )

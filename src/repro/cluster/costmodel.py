@@ -19,7 +19,7 @@ All costs are plain floats in modelled microseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True, slots=True)

@@ -38,12 +38,22 @@ class PhysicalMessage:
     events: tuple[Event, ...] = ()
     control: Any = None
     serial: int = field(default_factory=lambda: next(_serial_counter))
+    # memoized wire size — charged at send, receive and network transit,
+    # so computed once (identity-irrelevant: excluded from eq/hash)
+    _size: "int | None" = field(default=None, init=False, repr=False, compare=False)
 
     def size_bytes(self) -> int:
-        if self.kind is MessageKind.DATA:
-            return PHYSICAL_HEADER_BYTES + sum(e.size_bytes() for e in self.events)
-        # Control messages are small and fixed-size.
-        return PHYSICAL_HEADER_BYTES + 32
+        size = self._size
+        if size is None:
+            if self.kind is MessageKind.DATA:
+                size = PHYSICAL_HEADER_BYTES + sum(
+                    e.size_bytes() for e in self.events
+                )
+            else:
+                # Control messages are small and fixed-size.
+                size = PHYSICAL_HEADER_BYTES + 32
+            object.__setattr__(self, "_size", size)
+        return size
 
     def min_event_time(self) -> VirtualTime | None:
         """Smallest receive timestamp carried (for GVT accounting)."""

@@ -132,8 +132,8 @@ class ConservativeSimulation:
             raise ConfigurationError(
                 f"{self.objects[sender].name}: send delay {delay} violates "
                 f"the declared lookahead {self.lookahead} — either the "
-                f"model's minimum delay is smaller than declared, or the "
-                f"declaration is wrong"
+                "model's minimum delay is smaller than declared, or the "
+                "declaration is wrong"
             )
         try:
             receiver = self._name_to_oid[dest]

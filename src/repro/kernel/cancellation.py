@@ -41,15 +41,20 @@ class Comparison:
     lazy entries are *live* messages (the original was never cancelled, so
     a miss must emit its anti-message); aggressive entries are monitor-only
     (the anti-message is already on the wire).
+
+    ``signature`` is the :meth:`Event.content` tuple, computed once at
+    park time: every index update, match and expiry keys on it, and
+    rebuilding the tuple per lookup showed up in the profile.
     """
 
     record: SentRecord
     lazy: bool
     seq: int
+    signature: tuple[int, VirtualTime, VirtualTime, Any] = None  # type: ignore[assignment]
     resolved: bool = False
 
-    def content(self) -> tuple[int, VirtualTime, Any]:
-        return self.record.event.content()
+    def content(self) -> tuple[int, VirtualTime, VirtualTime, Any]:
+        return self.signature
 
 
 class ComparisonBuffer:
@@ -61,29 +66,40 @@ class ComparisonBuffer:
     regenerated and the comparison resolves as a miss.
     """
 
-    __slots__ = ("_by_content", "_by_key", "_seq")
+    __slots__ = ("_by_content", "_by_key", "_seq", "_live_lazy")
 
     def __init__(self) -> None:
         self._by_content: dict[Any, list[Comparison]] = {}
         self._by_key: list[tuple[EventKey, int, Comparison]] = []
         self._seq = 0
+        #: unresolved *lazy* entries (anti-messages possibly still owed);
+        #: lets the GVT bound skip the heap scan in the common empty case
+        self._live_lazy = 0
 
     def park(self, record: SentRecord, lazy: bool) -> Comparison:
-        entry = Comparison(record=record, lazy=lazy, seq=self._seq)
+        entry = Comparison(
+            record=record, lazy=lazy, seq=self._seq,
+            signature=record.event.content(),
+        )
         self._seq += 1
-        self._by_content.setdefault(entry.content(), []).append(entry)
+        self._by_content.setdefault(entry.signature, []).append(entry)
         heapq.heappush(self._by_key, (record.cause_key, entry.seq, entry))
+        if lazy:
+            self._live_lazy += 1
         return entry
 
     def match(self, event: Event) -> Comparison | None:
         """Resolve and return the oldest parked entry equal to ``event``."""
-        bucket = self._by_content.get(event.content())
+        signature = event.content()
+        bucket = self._by_content.get(signature)
         if not bucket:
             return None
         entry = bucket.pop(0)
         if not bucket:
-            del self._by_content[event.content()]
+            del self._by_content[signature]
         entry.resolved = True
+        if entry.lazy:
+            self._live_lazy -= 1
         return entry
 
     def _pop_expired(self, limit: EventKey | None) -> Iterator[Comparison]:
@@ -95,11 +111,13 @@ class ComparisonBuffer:
             if entry.resolved:
                 continue
             entry.resolved = True
-            bucket = self._by_content.get(entry.content())
+            if entry.lazy:
+                self._live_lazy -= 1
+            bucket = self._by_content.get(entry.signature)
             if bucket is not None:
                 bucket.remove(entry)
                 if not bucket:
-                    del self._by_content[entry.content()]
+                    del self._by_content[entry.signature]
             yield entry
 
     def expire_through(self, key: EventKey) -> list[Comparison]:
@@ -116,6 +134,8 @@ class ComparisonBuffer:
         GVT must not advance past this: a miss on such an entry emits an
         anti-message with that receive time.
         """
+        if not self._live_lazy:  # common case: nothing owed, skip the scan
+            return None
         best: VirtualTime | None = None
         for _, _, entry in self._by_key:
             if not entry.resolved and entry.lazy:

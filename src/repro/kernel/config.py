@@ -21,6 +21,7 @@ from .cancellation import CancellationPolicy, StaticCancellation, Mode
 from .checkpointing import CheckpointPolicy, StaticCheckpoint
 from .errors import ConfigurationError
 from .simobject import SimulationObject
+from .state import SnapshotStrategy, resolve_snapshot_strategy
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a kernel <-> comm import cycle
     from ..comm.aggregation import AggregationPolicy
@@ -59,6 +60,13 @@ class SimulationConfig:
     cancellation: CancellationFactory = default_cancellation
     checkpoint: CheckpointFactory = default_checkpoint
     aggregation: AggregationFactory = default_aggregation
+
+    #: how the kernel copies states for checkpoints and restores: a
+    #: registry name ("copy", "pickle", "deepcopy") or a
+    #: :class:`repro.kernel.state.SnapshotStrategy` instance.  "copy" is
+    #: the measured default (see docs/benchmarking.md, ``snapshot.*``
+    #: micro-benchmarks); "pickle" wins for large container-heavy states.
+    snapshot: "str | SnapshotStrategy" = "copy"
 
     #: "omniscient" (exact, centrally computed) or "mattern" (distributed)
     gvt_algorithm: str = "omniscient"
@@ -130,6 +138,7 @@ class SimulationConfig:
                 )
         if self.faults is not None:
             self.faults.validate()
+        resolve_snapshot_strategy(self.snapshot)  # raises on a bad spec
 
     def costs_for_lp(self, lp_id: int) -> CostModel:
         factor = self.lp_speed_factors.get(lp_id, 1.0)

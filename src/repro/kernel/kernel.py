@@ -25,6 +25,7 @@ from .errors import ConfigurationError
 from .event import Event
 from .lp import LogicalProcess
 from .simobject import SimulationObject
+from .state import resolve_snapshot_strategy
 
 #: A partition maps LP index -> the simulation objects it hosts.
 Partition = Sequence[Sequence[SimulationObject]]
@@ -83,9 +84,11 @@ class TimeWarpSimulation:
         self.executive.tracer = tracer
         self.executive.oracle = oracle
         self.executive.network.tracer = tracer
+        snapshot_strategy = resolve_snapshot_strategy(self.config.snapshot)
         for lp in self.lps:
             lp.tracer = tracer
             lp.oracle = oracle
+            lp.snapshot_strategy = snapshot_strategy
             comm = CommModule(
                 host=lp,
                 network=self.executive.network,

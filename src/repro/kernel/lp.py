@@ -29,7 +29,7 @@ from .errors import (
 from .event import Event, EventKey, SentRecord, VirtualTime
 from .queues import InputQueue, OutputQueue, StateQueue
 from .simobject import SimulationObject
-from .state import SavedState
+from .state import COPY_SNAPSHOT, SavedState, SnapshotStrategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..comm.transport import CommModule
@@ -125,6 +125,9 @@ class LogicalProcess:
         self.trace_sink: Callable[[Event], None] | None = None
         #: set by the executive so arrivals can wake an idle LP
         self.idle: bool = False
+        #: how checkpoint saves and rollback restores copy state
+        #: (``SimulationConfig.snapshot``; see repro.kernel.state)
+        self.snapshot_strategy: SnapshotStrategy = COPY_SNAPSHOT
 
     # ------------------------------------------------------------------ #
     # construction
@@ -165,7 +168,7 @@ class LogicalProcess:
                 last_key=None,
                 lvt=0.0,
                 event_count=0,
-                state=ctx.state.copy(),
+                state=self.snapshot_strategy.snapshot(ctx.state),
             )
             ctx.sq.save(saved)
             oracle = self.oracle
@@ -251,7 +254,7 @@ class LogicalProcess:
         size = snapshot.state.size_bytes()
         self.charge(self.costs.rollback_base + self.costs.state_restore(size))
         stats.state_restores += 1
-        ctx.state = snapshot.state.copy()
+        ctx.state = self.snapshot_strategy.snapshot(snapshot.state)
         ctx.lvt = snapshot.lvt
         ctx.event_count = snapshot.event_count
         ctx.events_since_save = 0
@@ -533,7 +536,7 @@ class LogicalProcess:
             last_key=last_key,
             lvt=ctx.lvt,
             event_count=ctx.event_count,
-            state=ctx.state.copy(),
+            state=self.snapshot_strategy.snapshot(ctx.state),
             save_cost=cost,
         )
         ctx.sq.save(saved)

@@ -31,6 +31,7 @@ class InputQueue:
         "_tombstones",
         "_future_ids",
         "processed",
+        "_processed_ids",
         "_pending_antis",
         "_live_future",
     )
@@ -40,6 +41,9 @@ class InputQueue:
         self._tombstones: set[EventId] = set()
         self._future_ids: dict[EventId, Event] = {}
         self.processed: list[Event] = []
+        #: identity index over ``processed`` (anti-messages against
+        #: already-executed positives resolve in O(1) instead of a scan)
+        self._processed_ids: dict[EventId, Event] = {}
         self._pending_antis: dict[EventId, Event] = {}
         self._live_future = 0
 
@@ -69,10 +73,7 @@ class InputQueue:
 
     def find_processed(self, eid: EventId) -> Event | None:
         """Return the processed positive message with identity ``eid``."""
-        for event in self.processed:
-            if event.sign > 0 and event.event_id() == eid:
-                return event
-        return None
+        return self._processed_ids.get(eid)
 
     def insert_anti(self, anti: Event) -> Event | None:
         """Handle an arriving anti-message.
@@ -101,6 +102,8 @@ class InputQueue:
     # scheduling
     # ------------------------------------------------------------------ #
     def _skip_tombstones(self) -> None:
+        if not self._tombstones:  # fast path: no stale entries anywhere
+            return
         while self._future:
             key, event = self._future[0]
             eid = event.event_id()
@@ -112,14 +115,19 @@ class InputQueue:
 
     def peek_next(self) -> Event | None:
         """Smallest-key unprocessed event, or ``None``."""
-        self._skip_tombstones()
-        return self._future[0][1] if self._future else None
+        if self._tombstones:
+            self._skip_tombstones()
+        future = self._future
+        return future[0][1] if future else None
 
     def peek_next_entry(self) -> tuple[EventKey, Event] | None:
         """Smallest (key, event) pair without reconstructing the key —
-        the LP scheduler scans every member per event, so this is hot."""
-        self._skip_tombstones()
-        return self._future[0] if self._future else None
+        the LP scheduler scans every member per event, so this is hot
+        (the tombstone check is inlined to skip a call frame per scan)."""
+        if self._tombstones:
+            self._skip_tombstones()
+        future = self._future
+        return future[0] if future else None
 
     def pop_next(self) -> Event:
         """Remove and return the smallest unprocessed event, marking it
@@ -128,9 +136,11 @@ class InputQueue:
         if not self._future:
             raise TimeWarpError("pop_next on an empty input queue")
         _, event = heapq.heappop(self._future)
-        del self._future_ids[event.event_id()]
+        eid = event.event_id()
+        del self._future_ids[eid]
         self._live_future -= 1
         self.processed.append(event)
+        self._processed_ids[eid] = event
         return event
 
     def last_processed_key(self) -> EventKey | None:
@@ -164,9 +174,12 @@ class InputQueue:
             split -= 1
         rolled = self.processed[split:]
         del self.processed[split:]
+        processed_ids = self._processed_ids
         for event in rolled:
+            eid = event.event_id()
+            del processed_ids[eid]
             heapq.heappush(self._future, (event.key(), event))
-            self._future_ids[event.event_id()] = event
+            self._future_ids[eid] = event
             self._live_future += 1
         return rolled
 
@@ -190,6 +203,9 @@ class InputQueue:
         committed = processed[:split]
         if split:
             self.processed = processed[split:]
+            processed_ids = self._processed_ids
+            for event in committed:
+                del processed_ids[event.event_id()]
         return committed
 
     def min_unprocessed_time(self) -> VirtualTime | None:

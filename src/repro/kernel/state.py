@@ -1,4 +1,4 @@
-"""Application state protocol and saved-state records.
+"""Application state protocol, snapshot strategies and saved-state records.
 
 Time Warp objects must expose copyable state so the kernel can checkpoint
 and restore it.  The contract mirrors WARPED's ``BasicState``:
@@ -13,14 +13,24 @@ and restore it.  The contract mirrors WARPED's ``BasicState``:
 :class:`RecordState` gives applications a dataclass-friendly base: any
 dataclass whose fields are immutables, lists/dicts of immutables, or nested
 ``RecordState`` values inherits a correct ``copy``/``size_bytes``/``__eq__``.
+
+*How* the kernel takes a snapshot is pluggable (the checkpoint hot path is
+one of the costs the paper's controllers reason about, so it should be a
+measured choice, not a hard-coded one): a :class:`SnapshotStrategy` turns a
+live state into an independent snapshot.  ``repro-bench perf`` measures the
+strategies against each other (``snapshot.*`` micro-benchmarks); the
+default is selected per run via ``SimulationConfig.snapshot``.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 import dataclasses
+import pickle
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
+from .errors import ConfigurationError
 from .event import EventKey, VirtualTime, payload_size_bytes
 
 
@@ -42,9 +52,19 @@ def _copy_value(value: Any) -> Any:
     :func:`copy.deepcopy`.
 
     Supports the field types :class:`RecordState` documents.  Unknown
-    mutable objects must themselves expose ``copy()``.
+    mutable objects must themselves expose ``copy()``.  Exact-type checks
+    come first: the overwhelming majority of state fields are plain ints,
+    floats, strings, lists and dicts, and ``type(x) is T`` beats an
+    ``isinstance`` chain on this path (run per field per checkpoint).
     """
-    if value is None or isinstance(value, (int, float, str, bytes, bool, tuple, frozenset)):
+    kind = type(value)
+    if kind is int or kind is float or kind is str or value is None or kind is bool:
+        return value
+    if kind is list:
+        return [_copy_value(item) for item in value]
+    if kind is dict:
+        return {key: _copy_value(item) for key, item in value.items()}
+    if isinstance(value, (int, float, str, bytes, bool, tuple, frozenset)):
         # tuples may contain mutables in theory; the documented contract is
         # that tuple fields hold immutables, so sharing is safe.
         return value
@@ -75,6 +95,21 @@ def _value_size(value: Any) -> int:
     return payload_size_bytes(value)
 
 
+#: Per-class cache of dataclass field names.  ``dataclasses.fields()``
+#: rebuilds a tuple of Field objects on every call, and the field walk
+#: runs on every checkpoint save, rollback restore and state comparison —
+#: the kernel's single hottest allocation site before this cache.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 @dataclass
 class RecordState:
     """Base class turning any dataclass into a valid :class:`AppState`.
@@ -88,22 +123,110 @@ class RecordState:
     def copy(self):
         cls = type(self)
         clone = cls.__new__(cls)
-        for f in dataclasses.fields(self):
-            setattr(clone, f.name, _copy_value(getattr(self, f.name)))
+        for name in _field_names(cls):
+            setattr(clone, name, _copy_value(getattr(self, name)))
         return clone
 
     def size_bytes(self) -> int:
-        return sum(_value_size(getattr(self, f.name)) for f in dataclasses.fields(self))
+        return sum(
+            _value_size(getattr(self, name)) for name in _field_names(type(self))
+        )
 
     def __eq__(self, other: object) -> bool:
         if type(other) is not type(self):
             return NotImplemented
         return all(
-            getattr(self, f.name) == getattr(other, f.name)
-            for f in dataclasses.fields(self)
+            getattr(self, name) == getattr(other, name)
+            for name in _field_names(type(self))
         )
 
     __hash__ = None  # type: ignore[assignment]  # states are mutable
+
+
+# --------------------------------------------------------------------- #
+# snapshot strategies
+# --------------------------------------------------------------------- #
+class SnapshotStrategy(Protocol):
+    """Turns a live application state into an independent snapshot."""
+
+    #: short identifier (used by config specs and benchmark names)
+    name: str
+
+    def snapshot(self, state: AppState) -> AppState:
+        """Return a deep, independent copy of ``state``."""
+        ...
+
+
+class CopySnapshot:
+    """Delegate to the state's own ``copy()`` (the WARPED contract).
+
+    This is the default: application ``copy()`` implementations (or the
+    :class:`RecordState` field walk) know their own structure and beat the
+    generic serializers on the small, flat states PDES models carry.
+    """
+
+    name = "copy"
+
+    def snapshot(self, state: AppState) -> AppState:
+        return state.copy()
+
+
+class PickleSnapshot:
+    """Pickle round-trip: ``loads(dumps(state))``.
+
+    Runs the copy loop in C and honours ``__getstate__``/``__setstate__``,
+    so states that define a reduced pickled form (dropping caches or
+    derived fields) get that fast path automatically.  Wins over
+    :class:`CopySnapshot` once states grow large container fields.
+    """
+
+    name = "pickle"
+
+    def snapshot(self, state: AppState) -> AppState:
+        return pickle.loads(pickle.dumps(state, pickle.HIGHEST_PROTOCOL))
+
+
+class DeepcopySnapshot:
+    """:func:`copy.deepcopy` — the generality fallback.
+
+    Handles arbitrary object graphs (cycles, shared sub-objects) that the
+    structured strategies reject; pays for it on every call.  Exists so an
+    application with exotic state can still run, and so the benchmark
+    suite can show what the generality costs.
+    """
+
+    name = "deepcopy"
+
+    def snapshot(self, state: AppState) -> AppState:
+        return _copy.deepcopy(state)
+
+
+#: Registry of named strategies (``SimulationConfig.snapshot`` specs).
+SNAPSHOT_STRATEGIES: dict[str, type] = {
+    "copy": CopySnapshot,
+    "pickle": PickleSnapshot,
+    "deepcopy": DeepcopySnapshot,
+}
+
+#: Shared default instance (strategies are stateless).
+COPY_SNAPSHOT = CopySnapshot()
+
+
+def resolve_snapshot_strategy(spec: "str | SnapshotStrategy") -> SnapshotStrategy:
+    """Resolve a config spec — a registry name or a strategy instance."""
+    if isinstance(spec, str):
+        try:
+            return SNAPSHOT_STRATEGIES[spec]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown snapshot strategy {spec!r}; "
+                f"choose from {sorted(SNAPSHOT_STRATEGIES)}"
+            ) from None
+    if not hasattr(spec, "snapshot"):
+        raise ConfigurationError(
+            f"snapshot strategy {spec!r} does not implement snapshot()"
+        )
+    return spec
 
 
 @dataclass(slots=True)

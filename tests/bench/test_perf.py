@@ -1,0 +1,186 @@
+"""Unit tests for the perf-suite measurement and document machinery."""
+
+import pytest
+
+from repro.bench.perf.report import (
+    SCHEMA_VERSION,
+    compare_documents,
+    load_document,
+    make_document,
+    render_document,
+    write_document,
+)
+from repro.bench.perf.suite import REGISTRY, Benchmark, run_suite
+from repro.bench.perf.timing import Measurement, TimingStats, measure
+
+
+class TestTimingStats:
+    def test_from_times(self):
+        stats = TimingStats.from_times([0.3, 0.1, 0.2], warmup=1)
+        assert stats.reps == 3
+        assert stats.warmup == 1
+        assert stats.min_s == 0.1
+        assert stats.median_s == 0.2
+        assert stats.mean_s == pytest.approx(0.2)
+        assert stats.stddev_s == pytest.approx(0.0816496580927726)
+
+    def test_even_count_median(self):
+        stats = TimingStats.from_times([0.1, 0.2, 0.3, 0.4], warmup=0)
+        assert stats.median_s == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingStats.from_times([], warmup=0)
+
+
+class TestMeasure:
+    def test_counts_reps_and_returns_counters(self):
+        calls = []
+
+        def workload():
+            calls.append(1)
+            return 10, {"k": 1}
+
+        m = measure(workload, reps=3, warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert m.ops == 10
+        assert m.counters == {"k": 1}
+        assert m.timing.reps == 3
+
+    def test_rate_uses_min(self):
+        m = Measurement(
+            timing=TimingStats(reps=2, warmup=0, min_s=0.5, median_s=1.0,
+                               mean_s=0.75, stddev_s=0.25),
+            ops=100,
+            counters={},
+        )
+        assert m.rate_per_s == pytest.approx(200.0)
+
+    def test_nondeterminism_raises(self):
+        results = iter([(1, {"n": 1}), (1, {"n": 2})])
+
+        with pytest.raises(RuntimeError, match="non-deterministic"):
+            measure(lambda: next(results), reps=2, warmup=0)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            measure(lambda: (1, {}), reps=0)
+        with pytest.raises(ValueError):
+            measure(lambda: (1, {}), reps=1, warmup=-1)
+
+
+class TestRegistry:
+    EXPECTED = {
+        "queue.insert_pop", "queue.annihilate",
+        "snapshot.copy", "snapshot.pickle",
+        "rollback.storm", "gvt.local_min",
+        "macro.phold", "macro.smmp", "macro.raid",
+    }
+
+    def test_registered_benchmarks(self):
+        assert set(REGISTRY) == self.EXPECTED
+
+    def test_kinds_and_units(self):
+        for name, bench in REGISTRY.items():
+            assert bench.kind == ("macro" if name.startswith("macro.") else "micro")
+            assert bench.unit in {"ops", "events"}
+
+    def test_unknown_only_rejected(self):
+        with pytest.raises(ValueError, match="no benchmark matches"):
+            run_suite(only="nope.nothing")
+
+
+def _fake_results(rate_s: float = 0.1, counters: dict | None = None):
+    bench = Benchmark(name="fake.bench", kind="micro", unit="ops",
+                      make=lambda quick: (lambda: (0, {})))
+    m = Measurement(
+        timing=TimingStats(reps=1, warmup=0, min_s=rate_s, median_s=rate_s,
+                           mean_s=rate_s, stddev_s=0.0),
+        ops=100,
+        counters=counters if counters is not None else {"events": 7},
+    )
+    return {"fake.bench": (bench, m)}
+
+
+def _make_doc(**kwargs):
+    return make_document(_fake_results(**kwargs), quick=True, reps=1, warmup=0)
+
+
+class TestDocument:
+    def test_schema_fields(self):
+        doc = _make_doc()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        entry = doc["benchmarks"]["fake.bench"]
+        assert entry["ops"] == 100
+        assert entry["rate_per_s"] == pytest.approx(1000.0)
+        assert entry["counters"] == {"events": 7}
+
+    def test_write_load_roundtrip(self, tmp_path):
+        doc = _make_doc()
+        path = write_document(doc, tmp_path / "BENCH_3.json")
+        assert load_document(path) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        doc = _make_doc()
+        doc["schema_version"] = 2
+        path = write_document(doc, tmp_path / "BENCH_2.json")
+        with pytest.raises(ValueError, match="schema_version"):
+            load_document(path)
+
+    def test_render(self):
+        text = render_document(_make_doc())
+        assert "fake.bench" in text
+        assert "schema v3" in text
+
+
+class TestComparison:
+    def test_no_change_passes(self):
+        doc = _make_doc()
+        report = compare_documents(doc, doc, fail_on_regress=10.0)
+        assert report.ok
+        assert "PASS" in report.render()
+
+    def test_injected_regression_fails(self):
+        base = _make_doc(rate_s=0.1)      # 1000 ops/s
+        current = _make_doc(rate_s=0.2)   # 500 ops/s: -50%
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["fake.bench"]
+        assert report.deltas[0].change_pct == pytest.approx(-50.0)
+        text = report.render()
+        assert "REGRESSION" in text and "FAIL" in text
+
+    def test_improvement_passes(self):
+        base = _make_doc(rate_s=0.2)
+        current = _make_doc(rate_s=0.1)
+        assert compare_documents(base, current, fail_on_regress=25.0).ok
+
+    def test_small_drop_within_threshold_passes(self):
+        base = _make_doc(rate_s=0.1)
+        current = _make_doc(rate_s=0.11)  # -9.1%
+        assert compare_documents(base, current, fail_on_regress=25.0).ok
+
+    def test_counter_drift_fails_even_when_fast(self):
+        base = _make_doc(counters={"events": 7})
+        current = _make_doc(rate_s=0.01, counters={"events": 8})
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert not report.ok
+        assert report.drifted[0].counter_drift == {"events": (7, 8)}
+        assert "COUNTER DRIFT" in report.render()
+
+    def test_one_sided_benchmarks_never_fail(self):
+        base = _make_doc()
+        current = _make_doc()
+        current["benchmarks"]["new.bench"] = current["benchmarks"]["fake.bench"]
+        base["benchmarks"]["old.bench"] = base["benchmarks"]["fake.bench"]
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.only_in_base == ["old.bench"]
+        assert report.only_in_current == ["new.bench"]
+
+    def test_no_threshold_reports_without_gating(self):
+        base = _make_doc(rate_s=0.1)
+        current = _make_doc(rate_s=0.5)
+        report = compare_documents(base, current)
+        assert report.ok  # no threshold, no regressions
+        assert "gate" not in report.render()

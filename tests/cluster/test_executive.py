@@ -5,7 +5,6 @@ import pytest
 from repro import SimulationConfig, TimeWarpSimulation
 from repro.apps.phold import PHOLDParams, build_phold
 from repro.apps.pingpong import build_pingpong
-from repro.cluster.costmodel import CostModel, NetworkModel
 from repro.kernel.errors import TerminationError
 
 

@@ -8,13 +8,11 @@ exceeds the true bound at commit time, validated by instrumenting the
 commit path) and for liveness/equivalence at quiescence.
 """
 
-import pytest
-
 from repro import SimulationConfig, TimeWarpSimulation
 from repro.apps.phold import PHOLDParams, build_phold
 from repro.apps.pingpong import build_pingpong
-from repro.gvt.manager import OmniscientGVT, true_global_minimum
-from repro.gvt.mattern import MatternGVT, Token, _Agent
+from repro.gvt.manager import true_global_minimum
+from repro.gvt.mattern import MatternGVT, _Agent
 
 
 class TestTrueGlobalMinimum:

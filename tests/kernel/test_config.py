@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.costmodel import CostModel
 from repro.comm.aggregation import NoAggregation
 from repro.kernel.cancellation import Mode
 from repro.kernel.config import (

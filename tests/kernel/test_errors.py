@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import SequentialSimulation, SimulationConfig, TimeWarpSimulation
+from repro import SequentialSimulation, TimeWarpSimulation
 from repro.kernel.errors import ApplicationError, TimeWarpError
 from repro.kernel.simobject import SimulationObject
 from repro.kernel.state import RecordState

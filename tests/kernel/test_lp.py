@@ -325,7 +325,7 @@ class TestLocalMin:
 
     def test_reflects_pending_lazy_antis(self):
         lp, _, ids = build_lp(mode=Mode.LAZY)
-        event = inject(lp, ids["a"], 10.0, ("fwd", "v", "b"))
+        inject(lp, ids["a"], 10.0, ("fwd", "v", "b"))
         drain(lp)
         # b's event at 20 is unprocessed; roll a back so the send parks.
         inject(lp, ids["a"], 5.0, ("note", "s"))

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel.errors import StateHistoryError, TimeWarpError
-from repro.kernel.event import SentRecord
 from repro.kernel.queues import InputQueue, OutputQueue, StateQueue
 from repro.kernel.state import SavedState
 from tests.helpers import make_event

@@ -1,6 +1,5 @@
 """Property-based tests for the core data structures (hypothesis)."""
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,7 @@ from repro.comm.message import MessageKind, PhysicalMessage
 from repro.comm.network import Network
 from repro.core.filters import SampleWindow
 from repro.core.thresholding import DeadZoneThreshold
-from repro.kernel.event import Event, payload_size_bytes
+from repro.kernel.event import payload_size_bytes
 from repro.kernel.queues import InputQueue
 from tests.helpers import make_event
 

@@ -115,7 +115,6 @@ def test_channel_sequences_preserved(script):
         # remove in-buffer annihilated pairs: a positive directly followed
         # (in channel order) by its anti that hit the buffer never flies.
         # The surviving sequence must match exactly, in order.
-        expected = []
         cancelled_ids = set()
         received_ids = {e.event_id() for e in got[dst]}
         for e in sent:

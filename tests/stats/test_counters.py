@@ -3,7 +3,6 @@
 import pytest
 
 from repro import SimulationConfig, StaticCancellation, Mode, TimeWarpSimulation
-from repro.apps.pingpong import build_pingpong
 from repro.apps.raid import RAIDParams, build_raid
 from repro.stats.counters import LPStats, ObjectStats, RunStats
 from repro.stats.report import (
