@@ -27,6 +27,7 @@ from .kernel import (
     StaticCancellation,
     StaticCheckpoint,
     TimeWarpSimulation,
+    make_simulation,
 )
 from .cluster.costmodel import CostModel, NetworkModel
 from .core import (
@@ -75,5 +76,6 @@ __all__ = [
     "StaticCheckpoint",
     "StaticTimeWindow",
     "TimeWarpSimulation",
+    "make_simulation",
     "single_threshold",
 ]

@@ -42,6 +42,12 @@ class PHOLDParams:
     #: checkpoint-interval ablation needs to expose both arms of the
     #: chi U-curve.
     state_size_ints: int = 0
+    #: probability a forwarded job stays inside the sender's contiguous
+    #: LP-sized block of objects (0.0 = classic uniform PHOLD).  Gives the
+    #: model tunable communication locality, which partition-aware runs
+    #: (repro.partition, the parallel backend) need to have something to
+    #: exploit.
+    locality: float = 0.0
     seed: int = 1
 
     def validate(self) -> None:
@@ -53,6 +59,8 @@ class PHOLDParams:
             raise ConfigurationError("delays must satisfy 0 < min <= max")
         if not 0.0 <= self.deterministic_fraction <= 1.0:
             raise ConfigurationError("deterministic_fraction must be in [0, 1]")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be in [0, 1]")
 
 
 @dataclass
@@ -117,7 +125,19 @@ class PHOLDObject(SimulationObject):
         self.send_event(self._dest_name(h), delay, (job_id, hop + 1))
 
     def _dest_name(self, h: int) -> str:
-        dest = pick(token_hash(h, 2), self.params.n_objects - 1)
+        params = self.params
+        if params.locality > 0.0 and chance(token_hash(h, 3), params.locality):
+            # Stay inside the sender's contiguous block (the same blocks
+            # build_phold deals out, one per LP).
+            block = (params.n_objects + params.n_lps - 1) // params.n_lps
+            start = (self.index // block) * block
+            size = min(block, params.n_objects - start)
+            if size > 1:
+                dest = start + pick(token_hash(h, 2), size - 1)
+                if dest >= self.index:
+                    dest += 1  # never self: keeps every hop a real message
+                return f"phold-{dest}"
+        dest = pick(token_hash(h, 2), params.n_objects - 1)
         if dest >= self.index:
             dest += 1  # never self: keeps every hop a real message
         return f"phold-{dest}"

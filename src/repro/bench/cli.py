@@ -8,6 +8,7 @@ Subcommands::
     repro-bench faults --plans 100         # differential fault fuzzing
     repro-bench perf --quick               # wall-clock perf suite
     repro-bench perf --compare benchmarks/baseline.json --fail-on-regress 25
+    repro-bench parallel --workers 2       # validate the parallel backend
 
 Back-compat: the original flat spellings keep working — ``repro-bench
 --fig 5``, ``repro-bench --faults``, ``repro-bench --all`` and friends
@@ -33,7 +34,7 @@ _SERIES_META = {
     "9": ("agg age (us)", "Figure 9 — RAID: DyMA execution time vs aggregate age"),
 }
 
-_SUBCOMMANDS = ("figures", "faults", "perf")
+_SUBCOMMANDS = ("figures", "faults", "perf", "parallel")
 
 
 def render(fig: str, results) -> str:
@@ -146,6 +147,19 @@ def run_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def run_parallel(args: argparse.Namespace) -> int:
+    from ..parallel.validate import main as validate_main
+
+    argv: list[str] = ["--workers", str(args.workers),
+                       "--strategy", args.strategy,
+                       "--timeout", str(args.timeout)]
+    for app in args.app or ():
+        argv += ["--app", app]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    return validate_main(argv)
+
+
 def run_perf(args: argparse.Namespace) -> int:
     from .perf.report import (
         DEFAULT_OUTPUT,
@@ -214,6 +228,25 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
         "perf", help="wall-clock performance suite (emits BENCH_3.json)")
     _add_perf_args(perf)
     perf.set_defaults(runner=run_perf)
+    parallel = subparsers.add_parser(
+        "parallel",
+        help="differentially validate the process-sharded backend "
+             "(docs/parallel.md)")
+    parallel.add_argument("--app", action="append",
+                          choices=("phold", "smmp"),
+                          help="application to validate (repeatable; "
+                               "default: all)")
+    parallel.add_argument("--workers", type=int, default=2,
+                          help="worker-process count")
+    parallel.add_argument("--strategy", default="kernighan_lin",
+                          choices=("kernighan_lin", "greedy_growth",
+                                   "round_robin"),
+                          help="partition strategy for sharding")
+    parallel.add_argument("--timeout", type=float, default=120.0,
+                          help="per-run stall timeout in seconds")
+    parallel.add_argument("--trace-dir", metavar="DIR",
+                          help="write per-shard JSONL traces into DIR")
+    parallel.set_defaults(runner=run_parallel)
     return parser
 
 

@@ -15,8 +15,10 @@ Comparison semantics (the CI gate):
   separately: it means the two runs did different *work*, so their rates
   are not comparable and the baseline needs a refresh — that is a
   failure too, with its own message;
-* benchmarks present on only one side are reported but never fail the
-  gate (suites are allowed to grow).
+* benchmarks present on only one side, or measured under a different
+  backend/worker configuration, are **incomparable**: reported with a
+  reason, excluded from deltas, and never fail the gate (suites are
+  allowed to grow and reconfigure).
 """
 
 from __future__ import annotations
@@ -68,6 +70,8 @@ def make_document(
         benchmarks[name] = {
             "kind": bench.kind,
             "unit": bench.unit,
+            "backend": bench.backend,
+            "workers": bench.workers,
             "ops": measurement.ops,
             "rate_per_s": round(measurement.rate_per_s, 3),
             "wall_min_s": timing.min_s,
@@ -125,7 +129,30 @@ def render_document(document: dict[str, Any]) -> str:
             f" {entry['wall_median_s'] * 1e3:>8.2f}ms"
             f" {entry['wall_stddev_s'] * 1e3:>8.2f}ms"
         )
+    speedups = _speedup_lines(document["benchmarks"])
+    if speedups:
+        rows.append("")
+        rows.extend(speedups)
     return "\n".join(rows)
+
+
+def _speedup_lines(benchmarks: dict[str, Any]) -> list[str]:
+    """Parallel speedup summary: each N-worker entry vs its ``.1w`` twin."""
+    lines = []
+    for name, entry in benchmarks.items():
+        if entry.get("backend") != "parallel" or entry.get("workers", 1) < 2:
+            continue
+        single = benchmarks.get(f"{name}.1w")
+        if single is None or not single["rate_per_s"]:
+            continue
+        ratio = entry["rate_per_s"] / single["rate_per_s"]
+        lines.append(
+            f"{name}: {ratio:.2f}x speedup over 1 worker "
+            f"({entry['workers']} workers, "
+            f"{entry['rate_per_s']:,.0f} vs {single['rate_per_s']:,.0f} "
+            f"{entry['unit']}/s)"
+        )
+    return lines
 
 
 # --------------------------------------------------------------------- #
@@ -155,6 +182,10 @@ class ComparisonReport:
     deltas: list[BenchmarkDelta] = field(default_factory=list)
     only_in_base: list[str] = field(default_factory=list)
     only_in_current: list[str] = field(default_factory=list)
+    #: benchmarks excluded from the comparison entirely, with the reason
+    #: (present on one side only, or run with a different backend/worker
+    #: configuration).  Informational: never fails the gate.
+    incomparable: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[BenchmarkDelta]:
@@ -191,10 +222,8 @@ class ComparisonReport:
                     f"{base!r} -> {current!r} (refresh the baseline: "
                     f"docs/benchmarking.md)"
                 )
-        if self.only_in_base:
-            rows.append(f"only in baseline: {', '.join(self.only_in_base)}")
-        if self.only_in_current:
-            rows.append(f"only in current: {', '.join(self.only_in_current)}")
+        for name, reason in self.incomparable:
+            rows.append(f"incomparable: {name} ({reason})")
         if self.threshold_pct is not None:
             verdict = (
                 "PASS"
@@ -224,6 +253,23 @@ def compare_documents(
         current_entry = current_benchmarks.get(name)
         if current_entry is None:
             report.only_in_base.append(name)
+            report.incomparable.append((name, "only in baseline"))
+            continue
+        # Entries measured on different backends or worker counts are
+        # different experiments — skip them rather than report a bogus
+        # regression or drift.  .get() defaults cover pre-provenance
+        # documents (entries written before backend/workers were emitted).
+        base_cfg = (base_entry.get("backend", "modelled"),
+                    base_entry.get("workers", 1))
+        current_cfg = (current_entry.get("backend", "modelled"),
+                       current_entry.get("workers", 1))
+        if base_cfg != current_cfg:
+            report.incomparable.append((
+                name,
+                f"backend/workers changed: "
+                f"{base_cfg[0]}/{base_cfg[1]}w -> "
+                f"{current_cfg[0]}/{current_cfg[1]}w",
+            ))
             continue
         drift = {
             key: (base_value, current_entry["counters"].get(key))
@@ -238,7 +284,8 @@ def compare_documents(
                 counter_drift=drift,
             )
         )
-    report.only_in_current = [
-        name for name in current_benchmarks if name not in base_benchmarks
-    ]
+    for name in current_benchmarks:
+        if name not in base_benchmarks:
+            report.only_in_current.append(name)
+            report.incomparable.append((name, "only in current"))
     return report

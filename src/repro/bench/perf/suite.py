@@ -35,6 +35,11 @@ class Benchmark:
     unit: str  # what ``ops`` counts ("events", "ops", ...)
     #: builds the workload; ``quick`` selects the reduced CI-sized load
     make: Callable[[bool], Workload] = field(repr=False)
+    #: execution backend the workload drives ("modelled" for the
+    #: deterministic in-process cluster, "parallel" for OS processes)
+    backend: str = "modelled"
+    #: worker process count (always 1 for the modelled backend)
+    workers: int = 1
 
     def run(self, *, quick: bool = False, reps: int = 3, warmup: int = 1) -> Measurement:
         return measure(self.make(quick), reps=reps, warmup=warmup)
@@ -43,13 +48,17 @@ class Benchmark:
 REGISTRY: dict[str, Benchmark] = {}
 
 
-def benchmark(name: str, kind: str, unit: str):
+def benchmark(name: str, kind: str, unit: str, *, backend: str = "modelled",
+              workers: int = 1):
     """Register ``fn(quick) -> Workload`` under ``name``."""
 
     def register(fn: Callable[[bool], Workload]):
         if name in REGISTRY:
             raise ValueError(f"duplicate benchmark name {name!r}")
-        REGISTRY[name] = Benchmark(name=name, kind=kind, unit=unit, make=fn)
+        REGISTRY[name] = Benchmark(
+            name=name, kind=kind, unit=unit, make=fn,
+            backend=backend, workers=workers,
+        )
         return fn
 
     return register
@@ -375,6 +384,134 @@ def _macro_raid(quick: bool) -> Workload:
         return stats.committed_events, _macro_counters(stats)
 
     return run
+
+
+# --------------------------------------------------------------------- #
+# macro: process-sharded parallel backend (wall-clock speedup)
+# --------------------------------------------------------------------- #
+def _parallel_phold_model(quick: bool):
+    from ...apps.phold import PHOLDParams, build_phold
+
+    # High-locality PHOLD: kernighan_lin recovers the blocks, so most
+    # traffic stays shard-local and the 2-worker run has parallelism to
+    # harvest instead of a rollback storm.
+    params = PHOLDParams(
+        n_objects=16, n_lps=2, jobs_per_object=3, locality=0.9, seed=5,
+    )
+    end_time = 4_000.0 if quick else 12_000.0
+    return (lambda: build_phold(params)), end_time
+
+
+def _parallel_smmp_model(quick: bool):
+    from ...apps.smmp import SMMPParams, build_smmp
+
+    params = SMMPParams(
+        n_processors=8, n_lps=2, n_banks=8,
+        requests_per_processor=60 if quick else 200,
+    )
+    return (lambda: build_smmp(params)), float("inf")
+
+
+_PARALLEL_MODELS = {"phold": _parallel_phold_model, "smmp": _parallel_smmp_model}
+
+
+def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
+    """Differentially-validated parallel run of ``app``.
+
+    Golden result and shard assignment are computed once at make() time,
+    outside the timed region, so run() measures execution only.  The
+    committed counters are checked against the sequential golden every
+    repetition — a mismatch raises, which both fails the benchmark and
+    keeps the reported counters deterministic (timing.measure flags any
+    cross-repetition counter drift as corruption).
+    """
+    from collections import Counter
+
+    from ...kernel.config import SimulationConfig
+    from ...parallel.backend import ParallelSimulation, resolve_strategy
+    from ...partition.graph import profile_model
+    from ...sequential import SequentialSimulation
+
+    builder, end_time = _PARALLEL_MODELS[app](quick)
+    seq = SequentialSimulation(
+        [obj for group in builder() for obj in group],
+        record_trace=True, end_time=end_time,
+    )
+    seq.run()
+    expected_total = seq.events_executed
+    expected_counts = Counter(entry[1] for entry in seq.trace)
+    expected_states = {obj.name: obj.state for obj in seq.objects}
+
+    graph = profile_model(
+        [obj for group in builder() for obj in group],
+        end_time=end_time, max_events=200_000,
+    )
+    assignment = resolve_strategy("kernighan_lin")(graph, workers)
+
+    def run() -> tuple[int, dict[str, Any]]:
+        from ...comm.aggregation import FixedWindow
+
+        config = SimulationConfig(
+            backend="parallel", workers=workers, end_time=end_time,
+            max_executed_events=2_000_000,
+            # a modest FAW window so the IPC path runs batched, as a
+            # deployment would (docs/parallel.md)
+            aggregation=lambda _lp: FixedWindow(50.0),
+        )
+        sim = ParallelSimulation(builder(), config, shard_map=assignment)
+        stats = sim.run()
+        if sim.violations:
+            raise RuntimeError(
+                f"parallel.{app}: {len(sim.violations)} invariant "
+                f"violation(s): {sim.violations[:3]}"
+            )
+        if stats.committed_events != expected_total:
+            raise RuntimeError(
+                f"parallel.{app}: committed {stats.committed_events} != "
+                f"sequential golden {expected_total}"
+            )
+        for name, want in expected_counts.items():
+            got = stats.per_object[name].events_committed
+            if got != want:
+                raise RuntimeError(
+                    f"parallel.{app}: {name} committed {got} != {want}"
+                )
+        for name, state in expected_states.items():
+            if sim.final_states[name] != state:
+                raise RuntimeError(
+                    f"parallel.{app}: final state of {name} diverged"
+                )
+        return stats.committed_events, {
+            "committed_events": stats.committed_events,
+            "matches_sequential": True,
+            "workers": workers,
+        }
+
+    return run
+
+
+@benchmark("parallel.phold", "macro", "events", backend="parallel", workers=2)
+def _parallel_phold(quick: bool) -> Workload:
+    """PHOLD across 2 worker processes, validated against sequential."""
+    return _parallel_workload("phold", 2, quick)
+
+
+@benchmark("parallel.phold.1w", "macro", "events", backend="parallel", workers=1)
+def _parallel_phold_1w(quick: bool) -> Workload:
+    """Single-worker baseline for the parallel.phold speedup ratio."""
+    return _parallel_workload("phold", 1, quick)
+
+
+@benchmark("parallel.smmp", "macro", "events", backend="parallel", workers=2)
+def _parallel_smmp(quick: bool) -> Workload:
+    """SMMP across 2 worker processes, validated against sequential."""
+    return _parallel_workload("smmp", 2, quick)
+
+
+@benchmark("parallel.smmp.1w", "macro", "events", backend="parallel", workers=1)
+def _parallel_smmp_1w(quick: bool) -> Workload:
+    """Single-worker baseline for the parallel.smmp speedup ratio."""
+    return _parallel_workload("smmp", 1, quick)
 
 
 # --------------------------------------------------------------------- #

@@ -57,8 +57,15 @@ class Broadcast:
     gvt: float
 
 
-class _Agent:
-    """Per-LP colouring and counting state."""
+class ColourAgent:
+    """Per-LP colouring and counting state.
+
+    Shared between the modelled-network :class:`MatternGVT` (one agent per
+    LP, stamps carried in a serial side-table) and the process-sharded
+    backend (:mod:`repro.parallel`, one agent per worker, stamps carried
+    explicitly in the IPC envelope — a side-table keyed by process-local
+    message serials cannot cross address spaces).
+    """
 
     __slots__ = ("round", "sent_before_round", "total_sent", "recv_by_stamp", "red_min")
 
@@ -94,6 +101,15 @@ class _Agent:
     def white_received(self) -> int:
         return sum(n for stamp, n in self.recv_by_stamp.items() if stamp < self.round)
 
+    def red_sent(self) -> int:
+        """Messages sent since entering the current round."""
+        return self.total_sent - self.sent_before_round
+
+
+#: Backward-compatible alias (the agent was private before repro.parallel
+#: started reusing it).
+_Agent = ColourAgent
+
 
 class MatternGVT:
     """Distributed GVT estimation through the modelled network."""
@@ -101,7 +117,7 @@ class MatternGVT:
     def __init__(self, executive: "Executive") -> None:
         self._executive = executive
         self.gvt: VirtualTime = 0.0
-        self._agents = [_Agent() for _ in executive.lps]
+        self._agents = [ColourAgent() for _ in executive.lps]
         self._stamps: dict[int, int] = {}  # physical message serial -> stamp
         self._round = 0
         self._active = False

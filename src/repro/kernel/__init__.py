@@ -12,7 +12,7 @@ from .errors import (
     TimeWarpError,
 )
 from .event import Event, EventId, EventKey, VirtualTime
-from .kernel import Partition, TimeWarpSimulation
+from .kernel import Partition, TimeWarpSimulation, make_simulation
 from .simobject import SimulationObject
 from .state import RecordState, SavedState
 
@@ -40,4 +40,5 @@ __all__ = [
     "aggressive",
     "every_event",
     "lazy",
+    "make_simulation",
 ]

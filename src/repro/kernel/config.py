@@ -61,6 +61,15 @@ class SimulationConfig:
     checkpoint: CheckpointFactory = default_checkpoint
     aggregation: AggregationFactory = default_aggregation
 
+    #: execution backend: "modelled" runs every LP in this process on the
+    #: deterministic modelled cluster; "parallel" shards LPs across
+    #: ``workers`` OS processes with batched IPC and distributed GVT
+    #: (docs/parallel.md).  Parallel runs are validated differentially,
+    #: not tick-for-tick.
+    backend: str = "modelled"
+    #: worker-process count for the parallel backend (ignored otherwise)
+    workers: int = 1
+
     #: how the kernel copies states for checkpoints and restores: a
     #: registry name ("copy", "pickle", "deepcopy") or a
     #: :class:`repro.kernel.state.SnapshotStrategy` instance.  "copy" is
@@ -123,6 +132,28 @@ class SimulationConfig:
     oracle: "InvariantOracle | None" = None
 
     def validate(self) -> None:
+        if self.backend not in ("modelled", "parallel"):
+            raise ConfigurationError(f"unknown backend {self.backend!r}")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.backend == "parallel":
+            # Features whose semantics are tied to the single-process
+            # modelled cluster; fail loudly instead of silently ignoring.
+            unsupported = [
+                ("faults", self.faults is not None),
+                ("time_window", self.time_window is not None),
+                ("external_script", bool(self.external_script)),
+                ("timeline", self.timeline is not None),
+                ("record_trace", self.record_trace),
+                ("tracer", self.tracer is not None),
+            ]
+            offending = [name for name, active in unsupported if active]
+            if offending:
+                raise ConfigurationError(
+                    f"backend='parallel' does not support: "
+                    f"{', '.join(offending)} (see docs/parallel.md; "
+                    "per-shard tracing uses ParallelSimulation(trace_dir=...))"
+                )
         if self.gvt_algorithm not in ("omniscient", "mattern"):
             raise ConfigurationError(
                 f"unknown GVT algorithm {self.gvt_algorithm!r}"

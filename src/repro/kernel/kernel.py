@@ -247,3 +247,22 @@ class TimeWarpSimulation:
         if self.trace is None:
             raise ConfigurationError("run with record_trace=True to collect a trace")
         return sorted(self.trace, key=lambda t: (t[0], t[1], t[2], t[3], repr(t[4])))
+
+
+def make_simulation(partition: Partition, config: SimulationConfig | None = None):
+    """Build the simulation selected by ``config.backend``.
+
+    ``"modelled"`` (the default) returns a :class:`TimeWarpSimulation`
+    running every LP in this process on the deterministic modelled
+    cluster; ``"parallel"`` returns a
+    :class:`repro.parallel.ParallelSimulation` sharding the LPs across
+    ``config.workers`` OS processes (docs/parallel.md).  Both expose
+    ``run() -> RunStats``.
+    """
+    config = config or SimulationConfig()
+    config.validate()
+    if config.backend == "parallel":
+        from ..parallel.backend import ParallelSimulation
+
+        return ParallelSimulation(partition, config)
+    return TimeWarpSimulation(partition, config)

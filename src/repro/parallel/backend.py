@@ -1,0 +1,401 @@
+"""Process-sharded parallel execution backend.
+
+:class:`ParallelSimulation` is the concurrent sibling of
+:class:`~repro.kernel.kernel.TimeWarpSimulation`: same partition-of-objects
+input, same ``run() -> RunStats`` output, but the LPs execute in separate
+OS processes (one LP per worker — the process boundary is the address
+space the paper's LP abstraction stands for).  Inter-shard events travel
+as pickled batches over ``multiprocessing`` queues behind the DyMA
+aggregation buffers; the parent process runs Mattern-colour GVT rounds
+(:mod:`repro.parallel.gvt`), drives fossil collection, detects
+termination, and merges the per-shard statistics into one
+:class:`~repro.stats.counters.RunStats`.
+
+A parallel run is **not** tick-for-tick deterministic — OS scheduling
+decides the rollback pattern — so correctness is enforced differentially
+(:mod:`repro.parallel.validate`): committed model counters and final
+object states must match the sequential golden, and the invariant oracle
+runs inside every worker.  See docs/parallel.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import Callable, Sequence
+
+from ..kernel.config import SimulationConfig
+from ..kernel.errors import ConfigurationError
+from ..kernel.kernel import Partition
+from ..kernel.simobject import SimulationObject
+from ..oracle.invariants import InvariantViolation
+from ..partition.graph import CommGraph, profile_model
+from ..partition.strategies import (
+    greedy_growth,
+    kernighan_lin,
+    partition_quality,
+    round_robin,
+)
+from ..stats.counters import RunStats
+from .gvt import GvtCoordinator, RoundResult
+from .ipc import GvtCommit, ShardDone, ShardError, Stop
+from .worker import ShardPlan, worker_main
+
+#: wait between all-idle rounds while termination drains, seconds
+QUIET_SLEEP_S = 0.001
+
+PartitionBuilder = Callable[[], Partition]
+
+_STRATEGIES = {
+    "round_robin": round_robin,
+    "greedy_growth": greedy_growth,
+    "kernighan_lin": kernighan_lin,
+}
+
+
+def resolve_strategy(spec) -> Callable[[CommGraph, int], dict[str, int]]:
+    """Name or callable -> assignment strategy.
+
+    ``"kernighan_lin"`` (the default everywhere) degrades to
+    ``greedy_growth`` when networkx is unavailable, so the parallel
+    backend works on a bare install.
+    """
+    if callable(spec):
+        return spec
+    try:
+        strategy = _STRATEGIES[spec]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown partition strategy {spec!r}; "
+            f"available: {sorted(_STRATEGIES)}"
+        ) from None
+    if strategy is kernighan_lin:
+        def kl_with_fallback(graph: CommGraph, n_lps: int) -> dict[str, int]:
+            try:
+                return kernighan_lin(graph, n_lps)
+            except ImportError:
+                return greedy_growth(graph, n_lps)
+        return kl_with_fallback
+    return strategy
+
+
+class ParallelSimulation:
+    """One Time Warp run sharded across ``config.workers`` processes."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        config: SimulationConfig | None = None,
+        *,
+        shard_map: dict[str, int] | None = None,
+        trace_dir: str | None = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.config = config or SimulationConfig(backend="parallel")
+        # Enforce the parallel-specific constraints even when the caller
+        # constructed us directly with backend="modelled" in the config.
+        dataclasses.replace(self.config, backend="parallel").validate()
+        if not partition or not any(partition):
+            raise ConfigurationError("partition must contain at least one object")
+        self.workers = self.config.workers
+        self.trace_dir = trace_dir
+        self.timeout_s = timeout_s
+
+        # --- directory (same walk as TimeWarpSimulation) ----------------
+        # Object ids are assigned in partition flat order and NEVER by
+        # shard, because the event total order tie-breaks on integer oids
+        # (kernel/event.py EventKey): keeping oid order identical to a
+        # sequential run over the same flattened partition makes the
+        # committed result — including same-timestamp tie order — equal to
+        # the sequential golden.  ``shard_map`` (object name -> shard)
+        # overrides placement without perturbing oid order; without it,
+        # groups map to shards 1:1 when counts match, else fold
+        # round-robin so each modelled-LP group stays co-resident.
+        self._objects: list[SimulationObject] = []
+        self._name_to_oid: dict[str, int] = {}
+        self._oid_to_shard: dict[int, int] = {}
+        n_groups = len(partition)
+        for group_index, group in enumerate(partition):
+            group_shard = (
+                group_index
+                if n_groups == self.workers
+                else group_index % self.workers
+            )
+            for obj in group:
+                if obj.name in self._name_to_oid:
+                    raise ConfigurationError(f"duplicate object name {obj.name!r}")
+                if shard_map is not None:
+                    try:
+                        shard = shard_map[obj.name]
+                    except KeyError:
+                        raise ConfigurationError(
+                            f"shard_map is missing object {obj.name!r}"
+                        ) from None
+                    if not 0 <= shard < self.workers:
+                        raise ConfigurationError(
+                            f"shard_map sends {obj.name!r} to shard {shard}, "
+                            f"but workers={self.workers}"
+                        )
+                else:
+                    shard = group_shard
+                oid = len(self._objects)
+                self._objects.append(obj)
+                self._name_to_oid[obj.name] = oid
+                self._oid_to_shard[oid] = shard
+        hosted = set(self._oid_to_shard.values())
+        if hosted != set(range(self.workers)):
+            empty = sorted(set(range(self.workers)) - hosted)
+            raise ConfigurationError(
+                f"shard(s) {empty} would host no objects; "
+                f"use fewer workers or more partition groups"
+            )
+
+        #: set by :meth:`from_builder` when a strategy chose the sharding
+        self.assignment: dict[str, int] | None = None
+        self.partition_quality: dict | None = None
+
+        # --- run results -------------------------------------------------
+        self.stats: RunStats | None = None
+        self.final_states: dict[str, object] = {}
+        self.violations: list[tuple[int, InvariantViolation]] = []
+        self.oracle_checks = 0
+        self.wall_s = 0.0
+        self.gvt_rounds_run = 0
+        self.gvt_passes_run = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_builder(
+        cls,
+        builder: PartitionBuilder,
+        config: SimulationConfig | None = None,
+        *,
+        strategy="kernighan_lin",
+        profile_end_time: float | None = None,
+        profile_max_events: int | None = 200_000,
+        **kwargs,
+    ) -> "ParallelSimulation":
+        """Shard a model with a partition strategy (kernighan_lin default).
+
+        Profiling consumes one instance of the model (it runs
+        sequentially, see :func:`repro.partition.profile_model`), so the
+        model arrives as a zero-argument ``builder`` returning a fresh
+        partition; its group structure only fixes the canonical oid order
+        — *placement* follows the measured communication graph via the
+        ``shard_map`` mechanism, so tie-breaking stays sequential-equal.
+        """
+        config = config or SimulationConfig(backend="parallel")
+        probe = [obj for group in builder() for obj in group]
+        end_time = (
+            profile_end_time if profile_end_time is not None else config.end_time
+        )
+        graph = profile_model(
+            probe, end_time=end_time, max_events=profile_max_events
+        )
+        assignment = resolve_strategy(strategy)(graph, config.workers)
+        sim = cls(builder(), config, shard_map=assignment, **kwargs)
+        sim.assignment = assignment
+        sim.partition_quality = partition_quality(graph, assignment)
+        return sim
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunStats:
+        """Execute to global quiescence and return merged statistics."""
+        if self._ran:
+            raise ConfigurationError("a ParallelSimulation can only run once")
+        self._ran = True
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "backend='parallel' needs the 'fork' start method "
+                "(policy factories and model objects are not picklable "
+                "under spawn)"
+            )
+        ctx = multiprocessing.get_context("fork")
+        started = time.perf_counter()
+
+        inboxes = [ctx.Queue() for _ in range(self.workers)]
+        report_queue = ctx.Queue()
+        processes = []
+        for shard in range(self.workers):
+            plan = ShardPlan(
+                objects=[
+                    (oid, self._objects[oid])
+                    for oid, owner in self._oid_to_shard.items()
+                    if owner == shard
+                ],
+                name_to_oid=self._name_to_oid,
+                oid_to_shard=self._oid_to_shard,
+                config=self.config,
+                n_shards=self.workers,
+                trace_dir=self.trace_dir,
+            )
+            process = ctx.Process(
+                target=worker_main,
+                args=(shard, plan, inboxes[shard], report_queue,
+                      dict(enumerate(inboxes))),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            processes.append(process)
+        for process in processes:
+            process.start()
+
+        coordinator = GvtCoordinator(
+            inboxes, report_queue, timeout_s=self.timeout_s
+        )
+        gvt_period_s = self.config.gvt_period / 1e6
+        committed = 0.0
+        committed_any = False
+        try:
+            final_round = self._drive(
+                coordinator, inboxes, gvt_period_s,
+            )
+            committed, committed_any = final_round[1], final_round[2]
+            last = final_round[0]
+            stop = Stop(
+                final_gvt=committed if committed_any else last.gvt,
+                total_sent=last.total_sent,
+                total_received=last.total_received,
+            )
+            for inbox in inboxes:
+                inbox.put(stop)
+            payloads = self._collect_done(report_queue)
+        except Exception:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            for process in processes:
+                process.join(timeout=10.0)
+
+        self.wall_s = time.perf_counter() - started
+        self.gvt_rounds_run = coordinator.rounds_completed
+        self.gvt_passes_run = coordinator.passes_total
+        self.stats = self._merge(payloads, committed if committed_any else 0.0)
+        self._global_checks(payloads)
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _drive(self, coordinator, inboxes, gvt_period_s):
+        """GVT rounds until a round proves quiescence.
+
+        Returns ``(final RoundResult, committed gvt, committed_any)``.
+        """
+        committed = 0.0
+        committed_any = False
+        while True:
+            result: RoundResult = coordinator.run_round()
+            gvt = result.gvt
+            if gvt != float("inf") and (not committed_any or gvt > committed):
+                committed = gvt
+                committed_any = True
+                commit = GvtCommit(result.round, gvt)
+                for inbox in inboxes:
+                    inbox.put(commit)
+            if result.all_quiet:
+                return result, committed, committed_any
+            # Busy fleet: next round after the configured period.  Idle
+            # fleet (draining in-flight work or final reds): spin fast so
+            # termination is detected promptly.
+            time.sleep(gvt_period_s if result.any_active else QUIET_SLEEP_S)
+
+    def _collect_done(self, report_queue) -> dict[int, dict]:
+        payloads: dict[int, dict] = {}
+        deadline = time.monotonic() + self.timeout_s
+        while len(payloads) < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(set(range(self.workers)) - set(payloads))
+                raise RuntimeError(
+                    f"shard(s) {missing} never sent their final report"
+                )
+            message = report_queue.get(timeout=remaining)
+            if isinstance(message, ShardError):
+                raise RuntimeError(
+                    f"shard {message.shard} crashed during shutdown:\n"
+                    f"{message.error}"
+                )
+            if isinstance(message, ShardDone):
+                payloads[message.shard] = message.payload
+            # stale ShardReports from the final round are dropped
+        return payloads
+
+    # ------------------------------------------------------------------ #
+    def _merge(self, payloads: dict[int, dict], final_gvt: float) -> RunStats:
+        stats = RunStats()
+        stats.final_gvt = final_gvt
+        for shard in sorted(payloads):
+            payload = payloads[shard]
+            lp_stats = payload["lp_stats"]
+            stats.per_lp[shard] = lp_stats
+            stats.gvt_rounds += lp_stats.gvt_rounds
+            stats.execution_time = max(stats.execution_time, payload["clock"])
+            stats.peak_state_entries = max(
+                stats.peak_state_entries, lp_stats.peak_state_entries
+            )
+            stats.peak_state_bytes = max(
+                stats.peak_state_bytes, lp_stats.peak_state_bytes
+            )
+            stats.peak_history_events = max(
+                stats.peak_history_events, lp_stats.peak_history_events
+            )
+            transport = payload["transport"]
+            stats.physical_messages += transport["messages_sent"]
+            stats.events_on_wire += transport["events_carried"]
+            stats.bytes_on_wire += transport["bytes_sent"]
+            for name, ostats in payload["object_stats"].items():
+                stats.per_object[name] = ostats
+                stats.committed_events += ostats.events_committed
+                stats.executed_events += ostats.events_executed
+                stats.rolled_back_events += ostats.events_rolled_back
+                stats.rollbacks += ostats.rollbacks
+                stats.state_saves += ostats.state_saves
+                stats.coast_forward_events += ostats.coast_forward_events
+                stats.antis_sent += ostats.antis_sent
+                stats.lazy_hits += ostats.lazy_hits
+                stats.lazy_misses += ostats.lazy_misses
+            self.final_states.update(payload["final_states"])
+            self.oracle_checks += payload["oracle_checks"]
+            for violation in payload["violations"]:
+                self.violations.append((shard, violation))
+        return stats
+
+    def _global_checks(self, payloads: dict[int, dict]) -> None:
+        """Parent-side wire conservation over the merged totals."""
+        sent = sum(p["transport"]["messages_sent"] for p in payloads.values())
+        received = sum(
+            p["transport"]["messages_received"] for p in payloads.values()
+        )
+        if sent != received:
+            self.violations.append(
+                (-1, InvariantViolation(
+                    "wire_conservation",
+                    self.stats.execution_time if self.stats else 0.0,
+                    f"global totals diverge after shutdown: "
+                    f"{sent} sent vs {received} received",
+                ))
+            )
+
+    # ------------------------------------------------------------------ #
+    def shard_of(self, name: str) -> int:
+        """Which worker hosts the named object (introspection/tests)."""
+        return self._oid_to_shard[self._name_to_oid[name]]
+
+
+def flatten(partition: Partition) -> list[SimulationObject]:
+    """Partition-of-objects -> flat list, preserving group order."""
+    return [obj for group in partition for obj in group]
+
+
+# re-exported convenience: Sequence import kept for type checkers
+__all__ = [
+    "ParallelSimulation",
+    "PartitionBuilder",
+    "flatten",
+    "resolve_strategy",
+]
+
+_ = Sequence  # pragma: no cover - silence unused-import in type-only use

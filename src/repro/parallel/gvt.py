@@ -1,0 +1,140 @@
+"""Coordinator-side Mattern GVT across worker processes.
+
+This extends the modelled-network :class:`~repro.gvt.mattern.MatternGVT`
+cut semantics to real inter-process transient messages.  The colouring
+invariant is identical — a message is *white* for round ``r`` when its
+carried stamp is ``< r`` and *red* otherwise — but the topology is a
+coordinator star instead of a token ring: every pass the coordinator
+broadcasts :class:`~repro.parallel.ipc.GvtStart` and collects one
+:class:`~repro.parallel.ipc.ShardReport` per shard, each a consistent
+local cut snapshot (the worker composes it atomically between queue
+operations).  The pass succeeds when the global white counts balance —
+``Σ white_sent == Σ white_received`` proves every message sent before the
+round is out of the queues and reflected in a report — and then
+
+    GVT = min over shards of min(local_min, red_min)
+
+is a safe bound, exactly as in the token-ring derivation.  Unbalanced
+counts mean whites were still in an OS pipe; the coordinator sleeps
+briefly and runs another pass of the same round with fresh totals.
+
+Termination detection rides on the same machinery: a successful pass in
+which every shard is inactive (no executable events below the horizon,
+no buffered aggregates, no live comparison entries) *and* nobody sent a
+message during the round proves global quiescence — the lifetime
+sent/received totals necessarily balance — so the coordinator can stop
+the fleet and certify the wire empty.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+from .ipc import GvtStart, ShardError, ShardReport
+
+#: back-off between passes of one round while whites drain, seconds
+PASS_SLEEP_S = 0.001
+
+
+class WorkerFailedError(RuntimeError):
+    """A worker process crashed or a GVT round stalled past the timeout."""
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one completed (count-balanced) GVT round."""
+
+    round: int
+    passes: int
+    gvt: float
+    #: every shard idle and silent this round: global quiescence
+    all_quiet: bool
+    reports: tuple[ShardReport, ...]
+
+    @property
+    def total_sent(self) -> int:
+        return sum(r.total_sent for r in self.reports)
+
+    @property
+    def total_received(self) -> int:
+        return sum(r.total_received for r in self.reports)
+
+    @property
+    def any_active(self) -> bool:
+        return any(r.active for r in self.reports)
+
+
+class GvtCoordinator:
+    """Drives Mattern rounds over the worker fleet from the parent."""
+
+    def __init__(self, inboxes, report_queue, *, timeout_s: float = 120.0) -> None:
+        self._inboxes = list(inboxes)
+        self._reports = report_queue
+        self._timeout_s = timeout_s
+        self._round = 0
+        self.rounds_completed = 0
+        self.passes_total = 0
+
+    def run_round(self) -> RoundResult:
+        """One full round: pass until the white counts balance."""
+        self._round += 1
+        deadline = time.monotonic() + self._timeout_s
+        pass_no = 0
+        while True:
+            pass_no += 1
+            self.passes_total += 1
+            start = GvtStart(self._round, pass_no)
+            for inbox in self._inboxes:
+                inbox.put(start)
+            reports = self._collect(self._round, pass_no, deadline)
+            white_sent = sum(r.white_sent for r in reports)
+            white_received = sum(r.white_received for r in reports)
+            if white_sent == white_received:
+                self.rounds_completed += 1
+                gvt = min(min(r.local_min, r.red_min) for r in reports)
+                all_quiet = all(
+                    not r.active and r.red_sent == 0 for r in reports
+                )
+                return RoundResult(
+                    round=self._round,
+                    passes=pass_no,
+                    gvt=gvt,
+                    all_quiet=all_quiet,
+                    reports=reports,
+                )
+            time.sleep(PASS_SLEEP_S)  # whites still in a pipe; retry
+
+    def _collect(
+        self, round_number: int, pass_no: int, deadline: float
+    ) -> tuple[ShardReport, ...]:
+        expected = {shard for shard in range(len(self._inboxes))}
+        reports: dict[int, ShardReport] = {}
+        while expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerFailedError(
+                    f"GVT round {round_number} pass {pass_no} stalled: "
+                    f"no report from shard(s) {sorted(expected)} within "
+                    f"{self._timeout_s:.0f}s"
+                )
+            try:
+                message = self._reports.get(timeout=min(remaining, 1.0))
+            except queue_mod.Empty:
+                continue
+            if isinstance(message, ShardError):
+                raise WorkerFailedError(
+                    f"shard {message.shard} crashed:\n{message.error}"
+                )
+            if not isinstance(message, ShardReport):  # pragma: no cover
+                raise WorkerFailedError(
+                    f"unexpected message during GVT round: {message!r}"
+                )
+            if (message.round, message.pass_no) != (round_number, pass_no):
+                # A stale report from an abandoned pass; lockstep makes
+                # this unreachable, but dropping it is always safe.
+                continue
+            reports[message.shard] = message
+            expected.discard(message.shard)
+        return tuple(reports[shard] for shard in sorted(reports))

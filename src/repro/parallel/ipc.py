@@ -1,0 +1,114 @@
+"""Wire format of the process-sharded backend.
+
+Everything that crosses a process boundary is one of the picklable
+records below, travelling over ``multiprocessing`` queues:
+
+* shard -> shard: :class:`DataBatch` — every application
+  :class:`~repro.comm.message.PhysicalMessage` the sender accumulated
+  since its last queue write, each wrapped in an *envelope* carrying its
+  Mattern colour stamp.  The stamp must travel with the message: the
+  modelled-network :class:`~repro.gvt.mattern.MatternGVT` keeps stamps in
+  a side-table keyed by process-local message serials, which cannot cross
+  address spaces.
+* coordinator -> shard: :class:`GvtStart` (open one token pass of a GVT
+  round), :class:`GvtCommit` (a new safe bound: fossil-collect), and
+  :class:`Stop` (global quiescence proven: finalize and report).
+* shard -> coordinator: :class:`ShardReport` (one pass's cut snapshot)
+  and :class:`ShardDone` / :class:`ShardError` (terminal payloads).
+
+Batching happens at two levels — DyMA aggregation packs events into
+physical messages (``comm/aggregation.py``), and the outbox packs
+physical messages into one ``DataBatch`` per destination per queue write
+— so a chatty model costs queue operations proportional to flushes, not
+to events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..comm.message import PhysicalMessage
+
+#: (mattern colour stamp, message) — the unit a DataBatch carries.
+Envelope = tuple[int, PhysicalMessage]
+
+
+@dataclass(frozen=True, slots=True)
+class DataBatch:
+    """All inter-shard messages one sender accumulated for one receiver."""
+
+    src_shard: int
+    envelopes: tuple[Envelope, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class GvtStart:
+    """Coordinator opens one token pass of a Mattern round."""
+
+    round: int
+    pass_no: int
+
+
+@dataclass(frozen=True, slots=True)
+class GvtCommit:
+    """Coordinator announces a new safe GVT bound."""
+
+    round: int
+    gvt: float
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """Coordinator proved global quiescence: finalize and report.
+
+    Carries the global wire totals so every worker can run the oracle's
+    wire-conservation / message-loss end-of-run checks against numbers
+    that actually mean something (a single shard's sent/received counts
+    are never expected to balance on their own).
+    """
+
+    final_gvt: float
+    total_sent: int
+    total_received: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShardReport:
+    """One worker's consistent cut snapshot for one (round, pass)."""
+
+    shard: int
+    round: int
+    pass_no: int
+    #: lower bound on virtual times this shard can still affect locally
+    local_min: float
+    #: messages sent before the shard entered this round
+    white_sent: int
+    #: received messages stamped with an older round
+    white_received: int
+    #: min event time among messages sent during this round
+    red_min: float
+    #: messages sent during this round (0 on a quiescent shard)
+    red_sent: int
+    #: executable/buffered work remains on this shard
+    active: bool
+    #: lifetime physical-message totals (for the Stop broadcast)
+    total_sent: int
+    total_received: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShardDone:
+    """Terminal payload: everything the parent merges into RunStats."""
+
+    shard: int
+    #: serialized per-shard results; see worker._final_payload for keys
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardError:
+    """A worker died; the traceback travels home for the RuntimeError."""
+
+    shard: int
+    error: str

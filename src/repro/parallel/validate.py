@@ -1,0 +1,206 @@
+"""Differential validation of the parallel backend.
+
+A process-sharded run is not tick-for-tick deterministic — the OS
+schedule decides which stragglers arrive late and therefore how many
+rollbacks happen — so the backend is validated the way the fault
+harness validates the modelled kernel (:mod:`repro.faults.fuzz`): the
+*committed result* must be schedule-invariant and equal to the
+sequential golden.  Concretely, for an app from the shared
+:data:`repro.faults.fuzz.APPS` registry:
+
+1. total committed events == the sequential kernel's executed events;
+2. per-object committed counts match the sequential trace exactly;
+3. final object states compare equal (plain dataclass ``==``);
+4. the invariant oracle, armed inside every worker plus the parent's
+   global wire check, reports zero violations.
+
+``main`` backs the ``repro-bench parallel`` CLI subcommand and the CI
+``parallel-smoke`` job (docs/parallel.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from ..faults.fuzz import APPS
+from ..kernel.config import SimulationConfig
+from ..oracle.invariants import InvariantOracle
+from ..sequential import SequentialSimulation
+from .backend import ParallelSimulation
+
+#: Safety valve: a livelocked shard aborts instead of hanging the run.
+MAX_EXECUTED_EVENTS = 500_000
+
+_golden_cache: dict[str, tuple[Counter, dict, int]] = {}
+
+
+def sequential_golden(app: str) -> tuple[Counter, dict, int]:
+    """``(per-object executed counts, final states, total)`` — cached."""
+    cached = _golden_cache.get(app)
+    if cached is None:
+        build, end_time = APPS[app]
+        seq = SequentialSimulation(
+            [obj for group in build() for obj in group],
+            record_trace=True,
+            end_time=end_time,
+        )
+        seq.run()
+        per_object = Counter(entry[1] for entry in seq.trace)
+        states = {obj.name: obj.state for obj in seq.objects}
+        cached = _golden_cache[app] = (per_object, states, seq.events_executed)
+    return cached
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """Outcome of one parallel-vs-sequential differential run."""
+
+    app: str
+    workers: int
+    committed: int
+    expected: int
+    #: (object, parallel committed, sequential executed) disagreements
+    count_mismatches: tuple[tuple[str, int, int], ...]
+    #: object names whose final state differs
+    state_mismatches: tuple[str, ...]
+    violations: tuple[str, ...]
+    oracle_checks: int
+    rollbacks: int
+    gvt_rounds: int
+    wall_s: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.error
+            and self.committed == self.expected
+            and not self.count_mismatches
+            and not self.state_mismatches
+            and not self.violations
+        )
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"{status} {self.app} workers={self.workers}: "
+            f"committed {self.committed}/{self.expected}, "
+            f"{self.rollbacks} rollback(s), {self.gvt_rounds} GVT round(s), "
+            f"{self.oracle_checks} oracle check(s), {self.wall_s:.2f}s wall"
+        ]
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        for name, got, want in self.count_mismatches:
+            lines.append(f"  count mismatch {name}: parallel={got} sequential={want}")
+        for name in self.state_mismatches:
+            lines.append(f"  final-state mismatch: {name}")
+        for violation in self.violations:
+            lines.append(f"  invariant violation: {violation}")
+        return "\n".join(lines)
+
+
+def run_differential(
+    app: str,
+    workers: int,
+    *,
+    strategy="kernighan_lin",
+    timeout_s: float = 120.0,
+    trace_dir: str | None = None,
+) -> DifferentialResult:
+    """One differential run of ``app`` over ``workers`` shards."""
+    build, end_time = APPS[app]
+    golden_counts, golden_states, expected = sequential_golden(app)
+    config = SimulationConfig(
+        backend="parallel",
+        workers=workers,
+        end_time=end_time,
+        oracle=InvariantOracle(),
+        max_executed_events=MAX_EXECUTED_EVENTS,
+    )
+    started = time.perf_counter()
+    error = ""
+    committed = rollbacks = gvt_rounds = oracle_checks = 0
+    count_mismatches: list[tuple[str, int, int]] = []
+    state_mismatches: list[str] = []
+    violations: tuple[str, ...] = ()
+    try:
+        sim = ParallelSimulation.from_builder(
+            build, config, strategy=strategy,
+            trace_dir=trace_dir, timeout_s=timeout_s,
+        )
+        stats = sim.run()
+        committed = stats.committed_events
+        rollbacks = stats.rollbacks
+        gvt_rounds = sim.gvt_rounds_run
+        oracle_checks = sim.oracle_checks
+        violations = tuple(
+            f"shard {shard}: {violation}" for shard, violation in sim.violations
+        )
+        for name in sorted(golden_states):
+            got = stats.per_object[name].events_committed
+            want = golden_counts.get(name, 0)
+            if got != want:
+                count_mismatches.append((name, got, want))
+            if sim.final_states[name] != golden_states[name]:
+                state_mismatches.append(name)
+    except Exception as exc:  # a crash is a finding, not a harness abort
+        error = f"{type(exc).__name__}: {exc}"
+    return DifferentialResult(
+        app=app,
+        workers=workers,
+        committed=committed,
+        expected=expected,
+        count_mismatches=tuple(count_mismatches),
+        state_mismatches=tuple(state_mismatches),
+        violations=violations,
+        oracle_checks=oracle_checks,
+        rollbacks=rollbacks,
+        gvt_rounds=gvt_rounds,
+        wall_s=time.perf_counter() - started,
+        error=error,
+    )
+
+
+def main(argv=None) -> int:
+    """``repro-bench parallel`` entry: differential runs, exit 1 on FAIL."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench parallel",
+        description="differentially validate the process-sharded backend",
+    )
+    parser.add_argument(
+        "--app", action="append", choices=sorted(APPS),
+        help="application to validate (repeatable; default: all)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--strategy", default="kernighan_lin",
+        choices=("kernighan_lin", "greedy_growth", "round_robin"),
+    )
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="write per-shard JSONL traces under this directory",
+    )
+    args = parser.parse_args(argv)
+    apps = args.app or sorted(APPS)
+    results = [
+        run_differential(
+            app, args.workers,
+            strategy=args.strategy, timeout_s=args.timeout,
+            trace_dir=args.trace_dir,
+        )
+        for app in apps
+    ]
+    for result in results:
+        print(result.render())
+    failed = [r for r in results if not r.ok]
+    print("PASS" if not failed else f"FAIL ({len(failed)} app(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,362 @@
+"""The per-shard worker process.
+
+Each worker hosts ONE :class:`~repro.kernel.lp.LogicalProcess` — the
+process boundary *is* the LP boundary, which is the paper's reading of an
+LP as an address space on one workstation — and runs the proven
+single-process Time Warp loop over it: execute lowest-timestamp-first,
+roll back on stragglers and anti-messages, checkpoint, coast forward.
+Nothing in the rollback machinery is reimplemented; the worker only
+supplies what the modelled Executive supplied before:
+
+* a delivery loop draining the shard's inbox queue (data batches from
+  peers, GVT control from the coordinator);
+* a flush scheduler for aging DyMA aggregates (a small heap against the
+  LP's modelled clock, since there is no global modelled NOW);
+* Mattern colouring for every inter-shard send/receive via a
+  :class:`~repro.gvt.mattern.ColourAgent`, with stamps carried in the
+  IPC envelopes;
+* fossil collection on every committed GVT bound, and the invariant
+  oracle (gvt_monotonic / gvt_safety / state fidelity in-shard;
+  wire_conservation / message_loss against the coordinator's global
+  totals at the end of the run).
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue as queue_mod
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..comm.message import MessageKind
+from ..comm.transport import CommModule
+from ..gvt.mattern import ColourAgent
+from ..kernel.config import SimulationConfig
+from ..kernel.errors import ConfigurationError, TerminationError
+from ..kernel.lp import LogicalProcess
+from ..kernel.simobject import SimulationObject
+from ..kernel.state import resolve_snapshot_strategy
+from ..oracle.invariants import NULL_ORACLE
+from ..trace.tracer import NULL_TRACER, Tracer
+from .ipc import DataBatch, GvtCommit, GvtStart, ShardDone, ShardError, ShardReport, Stop
+from .transport import ShardTransport
+
+#: events executed between inbox polls.  This is the arrival-latency /
+#: throughput trade-off: long slices amortize queue polls but let a shard
+#: race ahead of in-flight stragglers, and measured on PHOLD the rollback
+#: cost dominates far earlier than the polling cost (slice 128 ran at
+#: ~0.26 efficiency where 32 reached ~0.6).  Override per run with
+#: ``ShardPlan.extras["execute_slice"]``.
+EXECUTE_SLICE = 32
+
+#: idle blocking-wait granularity on the inbox, seconds
+IDLE_WAIT_S = 0.005
+
+
+@dataclass
+class ShardPlan:
+    """Everything one worker needs to build its shard (passed via fork)."""
+
+    #: (global oid, object) pairs hosted by this shard
+    objects: list[tuple[int, SimulationObject]]
+    name_to_oid: dict[str, int]
+    oid_to_shard: dict[int, int]
+    config: SimulationConfig
+    n_shards: int
+    #: directory for a per-shard JSONL trace (None = no tracing)
+    trace_dir: str | None = None
+    #: extra payload keys tests can request (kept small)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def worker_main(shard_id: int, plan: ShardPlan, inbox, to_coordinator, out_queues) -> None:
+    """Process entry point: run the shard, always report home."""
+    try:
+        _ShardRuntime(shard_id, plan, inbox, to_coordinator, out_queues).run()
+    except BaseException:
+        # A crash is a finding for the parent, not a silent exit code.
+        to_coordinator.put(ShardError(shard_id, traceback.format_exc()))
+
+
+class _ShardRuntime:
+    """One worker's live state: LP, transport, colour agent, flush heap."""
+
+    def __init__(self, shard_id: int, plan: ShardPlan, inbox, to_coordinator,
+                 out_queues) -> None:
+        self.shard_id = shard_id
+        self.plan = plan
+        self.inbox = inbox
+        self.to_coordinator = to_coordinator
+        self.out_queues = out_queues
+        config = plan.config
+
+        self.agent = ColourAgent()
+        self.transport = ShardTransport(shard_id, self.agent)
+
+        lp = LogicalProcess(
+            shard_id,
+            config.costs_for_lp(shard_id),
+            resolve_name=self._resolve,
+            lp_of=plan.oid_to_shard.__getitem__,
+            end_time=config.end_time,
+        )
+        self.lp = lp
+        if plan.trace_dir is not None:
+            path = Path(plan.trace_dir) / f"shard-{shard_id}.jsonl"
+            self.tracer = Tracer(path=path)
+        else:
+            self.tracer = NULL_TRACER
+        oracle = config.oracle if config.oracle is not None else NULL_ORACLE
+        if oracle.enabled and oracle.tracer is NULL_TRACER:
+            oracle.tracer = self.tracer
+        self.oracle = oracle
+        lp.tracer = self.tracer
+        lp.oracle = oracle
+        lp.snapshot_strategy = resolve_snapshot_strategy(config.snapshot)
+
+        comm = CommModule(
+            host=lp,
+            network=self.transport,
+            costs=lp.costs,
+            policy=config.aggregation(shard_id),
+            tracer=self.tracer,
+        )
+        comm.set_routing(plan.oid_to_shard)
+        lp.comm = comm
+        #: (flush-at modelled clock, dst shard, aggregate generation)
+        self._flush_heap: list[tuple[float, int, int]] = []
+        lp.schedule_flush = self._schedule_flush  # TransportHost hook
+
+        for oid, obj in plan.objects:
+            lp.attach(
+                obj,
+                oid,
+                cancel_policy=config.cancellation(obj),
+                ckpt_policy=config.checkpoint(obj),
+            )
+
+        self._slice = int(plan.extras.get("execute_slice", EXECUTE_SLICE))
+        self._pending_gvt: GvtStart | None = None
+        self._stop: Stop | None = None
+        self._committed_gvt = 0.0
+        self._gvt_commits = 0
+        self._executed = 0
+
+    # ------------------------------------------------------------------ #
+    def _resolve(self, name: str) -> int:
+        try:
+            return self.plan.name_to_oid[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown simulation object {name!r}") from None
+
+    def _schedule_flush(self, dst_lp: int, at: float, generation: int) -> None:
+        heapq.heappush(self._flush_heap, (at, dst_lp, generation))
+
+    def _pop_due_flushes(self) -> None:
+        heap = self._flush_heap
+        clock = self.lp.clock
+        comm = self.lp.comm
+        while heap and heap[0][0] <= clock:
+            _, dst, generation = heapq.heappop(heap)
+            comm.flush_due(dst, generation)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        lp = self.lp
+        lp.initialize()  # initial sends land in the DyMA buffers
+        max_events = self.plan.config.max_executed_events
+        while self._stop is None:
+            handled = self._drain_inbox()
+            executed = 0
+            while executed < self._slice and self._stop is None:
+                if not lp.execute_one():
+                    break
+                executed += 1
+                self._pop_due_flushes()
+            self._executed += executed
+            if max_events is not None and self._executed > max_events:
+                raise TerminationError(
+                    f"shard {self.shard_id} exceeded max_executed_events="
+                    f"{max_events} (livelock safety valve)"
+                )
+            if self._pending_gvt is not None:
+                self._send_report()
+            self._flush_outbox()
+            if self._stop is None and not executed and not handled:
+                lp.on_idle()  # expire comparisons, drain aggregates
+                self._flush_outbox()
+                self._wait_one()
+        self._finish(self._stop)
+
+    # ------------------------------------------------------------------ #
+    # inbox
+    # ------------------------------------------------------------------ #
+    def _drain_inbox(self) -> int:
+        handled = 0
+        while True:
+            try:
+                message = self.inbox.get_nowait()
+            except queue_mod.Empty:
+                return handled
+            handled += 1
+            self._handle(message)
+            if self._stop is not None:
+                return handled
+
+    def _wait_one(self) -> None:
+        try:
+            message = self.inbox.get(timeout=IDLE_WAIT_S)
+        except queue_mod.Empty:
+            return
+        self._handle(message)
+
+    def _handle(self, message) -> None:
+        if isinstance(message, DataBatch):
+            self.transport.batches_received += 1
+            lp = self.lp
+            for stamp, physical in message.envelopes:
+                self.agent.note_receive(stamp)
+                self.transport.note_received(physical)
+                if physical.kind is MessageKind.DATA:
+                    lp.receive_physical(physical.size_bytes(), physical.events)
+        elif isinstance(message, GvtStart):
+            # Entering the round first makes every later send red.
+            self.agent.enter_round(message.round)
+            lp = self.lp
+            lp.charge(lp.costs.gvt_participation_cost)
+            lp.stats.gvt_rounds += 1
+            self._pending_gvt = message
+        elif isinstance(message, GvtCommit):
+            self._on_commit(message)
+        elif isinstance(message, Stop):
+            self._stop = message
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown IPC message: {message!r}")
+
+    # ------------------------------------------------------------------ #
+    # GVT participation
+    # ------------------------------------------------------------------ #
+    def _send_report(self) -> None:
+        start = self._pending_gvt
+        self._pending_gvt = None
+        assert start is not None
+        # The outbox must be drained first so every send this shard has
+        # performed is either in a queue (in flight, covered by the white
+        # counts) or red (covered by red_min) at the cut.
+        self._flush_outbox()
+        lp = self.lp
+        agent = self.agent
+        active = (
+            lp.has_work(ignore_window=True)
+            or lp.comm.buffered_event_count() > 0
+            or any(ctx.cmp_buffer.pending() for ctx in lp.members.values())
+        )
+        self.to_coordinator.put(
+            ShardReport(
+                shard=self.shard_id,
+                round=start.round,
+                pass_no=start.pass_no,
+                local_min=lp.local_min(),
+                white_sent=agent.white_sent(),
+                white_received=agent.white_received(),
+                red_min=agent.red_min,
+                red_sent=agent.red_sent(),
+                active=active,
+                total_sent=self.transport.messages_sent,
+                total_received=self.transport.messages_received,
+            )
+        )
+
+    def _on_commit(self, commit: GvtCommit) -> None:
+        lp = self.lp
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_gvt_estimate(lp.clock, commit.gvt, self._committed_gvt)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gvt.round", lp.clock,
+                algorithm="mattern", gvt=commit.gvt,
+                advanced=commit.gvt > self._committed_gvt,
+            )
+        self._committed_gvt = max(self._committed_gvt, commit.gvt)
+        self._gvt_commits += 1
+        lp.fossil_collect(commit.gvt)
+
+    # ------------------------------------------------------------------ #
+    # outbox
+    # ------------------------------------------------------------------ #
+    def _flush_outbox(self) -> None:
+        for dst, envelopes in self.transport.drain():
+            self.out_queues[dst].put(DataBatch(self.shard_id, envelopes))
+
+    # ------------------------------------------------------------------ #
+    # termination
+    # ------------------------------------------------------------------ #
+    def _finish(self, stop: Stop) -> None:
+        lp = self.lp
+        lp.on_idle()
+        self._flush_outbox()  # quiescence was proven; this must be a no-op
+        lp.fossil_collect(float("inf"), final=True)
+        lp.finalize()
+        oracle = self.oracle
+        if oracle.enabled:
+            oracle.on_run_end(_EndOfRunView(lp, stop))
+        self.tracer.close()
+        self.to_coordinator.put(ShardDone(self.shard_id, self._final_payload()))
+
+    def _final_payload(self) -> dict[str, Any]:
+        lp = self.lp
+        transport = self.transport
+        oracle = self.oracle
+        return {
+            "lp_stats": lp.stats,
+            "object_stats": lp.object_stats(),
+            "final_states": {
+                ctx.obj.name: ctx.state for ctx in lp.members.values()
+            },
+            "clock": lp.clock,
+            "violations": list(oracle.violations),
+            "oracle_checks": getattr(oracle, "checks", 0),
+            "committed_gvt": self._committed_gvt,
+            "gvt_commits": self._gvt_commits,
+            "transport": {
+                "messages_sent": transport.messages_sent,
+                "messages_received": transport.messages_received,
+                "events_carried": transport.events_carried,
+                "bytes_sent": transport.bytes_sent,
+                "batches_sent": transport.batches_sent,
+                "batches_received": transport.batches_received,
+            },
+        }
+
+
+class _GlobalWire:
+    """End-of-run wire view built from the coordinator's global totals."""
+
+    def __init__(self, sent: int, delivered: int) -> None:
+        self._sent = sent
+        self._delivered = delivered
+
+    def wire_counts(self) -> dict[str, int]:
+        return {
+            "sent": self._sent,
+            "delivered": self._delivered,
+            "lost": 0,
+            "in_flight": self._sent - self._delivered,
+        }
+
+    def undelivered_data_count(self) -> int:
+        return max(0, self._sent - self._delivered)
+
+
+class _EndOfRunView:
+    """The executive-shaped object ``InvariantOracle.on_run_end`` walks."""
+
+    def __init__(self, lp: LogicalProcess, stop: Stop) -> None:
+        self.wallclock = lp.clock
+        self.network = _GlobalWire(stop.total_sent, stop.total_received)
+        self.lps = [lp]

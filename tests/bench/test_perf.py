@@ -75,6 +75,8 @@ class TestRegistry:
         "snapshot.copy", "snapshot.pickle",
         "rollback.storm", "gvt.local_min",
         "macro.phold", "macro.smmp", "macro.raid",
+        "parallel.phold", "parallel.phold.1w",
+        "parallel.smmp", "parallel.smmp.1w",
     }
 
     def test_registered_benchmarks(self):
@@ -82,17 +84,29 @@ class TestRegistry:
 
     def test_kinds_and_units(self):
         for name, bench in REGISTRY.items():
-            assert bench.kind == ("macro" if name.startswith("macro.") else "micro")
+            macro = name.startswith(("macro.", "parallel."))
+            assert bench.kind == ("macro" if macro else "micro")
             assert bench.unit in {"ops", "events"}
+
+    def test_parallel_provenance(self):
+        for name, bench in REGISTRY.items():
+            if name.startswith("parallel."):
+                assert bench.backend == "parallel"
+                assert bench.workers == (1 if name.endswith(".1w") else 2)
+            else:
+                assert bench.backend == "modelled"
+                assert bench.workers == 1
 
     def test_unknown_only_rejected(self):
         with pytest.raises(ValueError, match="no benchmark matches"):
             run_suite(only="nope.nothing")
 
 
-def _fake_results(rate_s: float = 0.1, counters: dict | None = None):
+def _fake_results(rate_s: float = 0.1, counters: dict | None = None,
+                  backend: str = "modelled", workers: int = 1):
     bench = Benchmark(name="fake.bench", kind="micro", unit="ops",
-                      make=lambda quick: (lambda: (0, {})))
+                      make=lambda quick: (lambda: (0, {})),
+                      backend=backend, workers=workers)
     m = Measurement(
         timing=TimingStats(reps=1, warmup=0, min_s=rate_s, median_s=rate_s,
                            mean_s=rate_s, stddev_s=0.0),
@@ -114,6 +128,25 @@ class TestDocument:
         assert entry["ops"] == 100
         assert entry["rate_per_s"] == pytest.approx(1000.0)
         assert entry["counters"] == {"events": 7}
+        assert entry["backend"] == "modelled"
+        assert entry["workers"] == 1
+
+    def test_parallel_provenance_emitted(self):
+        doc = _make_doc(backend="parallel", workers=2)
+        entry = doc["benchmarks"]["fake.bench"]
+        assert entry["backend"] == "parallel"
+        assert entry["workers"] == 2
+
+    def test_speedup_line_rendered(self):
+        doc = _make_doc(backend="parallel", workers=2, rate_s=0.1)  # 1000/s
+        single = _make_doc(backend="parallel", workers=1, rate_s=0.15)
+        doc["benchmarks"]["fake.bench.1w"] = single["benchmarks"]["fake.bench"]
+        text = render_document(doc)
+        assert "1.50x speedup over 1 worker" in text
+
+    def test_no_speedup_line_without_twin(self):
+        doc = _make_doc(backend="parallel", workers=2)
+        assert "speedup" not in render_document(doc)
 
     def test_write_load_roundtrip(self, tmp_path):
         doc = _make_doc()
@@ -177,6 +210,44 @@ class TestComparison:
         assert report.ok
         assert report.only_in_base == ["old.bench"]
         assert report.only_in_current == ["new.bench"]
+        assert ("old.bench", "only in baseline") in report.incomparable
+        assert ("new.bench", "only in current") in report.incomparable
+        text = report.render()
+        assert "incomparable: old.bench (only in baseline)" in text
+        assert "incomparable: new.bench (only in current)" in text
+
+    def test_backend_change_is_incomparable_not_drift(self):
+        base = _make_doc(counters={"events": 7})
+        # a huge "regression" plus counter drift — but the configuration
+        # changed, so neither may fire
+        current = _make_doc(rate_s=10.0, counters={"events": 999},
+                            backend="parallel", workers=2)
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.deltas == []
+        assert report.incomparable == [
+            ("fake.bench", "backend/workers changed: "
+                           "modelled/1w -> parallel/2w")
+        ]
+        assert "incomparable: fake.bench" in report.render()
+
+    def test_worker_count_change_is_incomparable(self):
+        base = _make_doc(backend="parallel", workers=2)
+        current = _make_doc(backend="parallel", workers=4)
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.incomparable[0][1].endswith("parallel/2w -> parallel/4w")
+
+    def test_pre_provenance_documents_default_to_modelled(self):
+        # documents written before backend/workers were emitted compare
+        # cleanly against fresh modelled entries
+        base = _make_doc()
+        for entry in base["benchmarks"].values():
+            del entry["backend"], entry["workers"]
+        report = compare_documents(base, _make_doc(), fail_on_regress=25.0)
+        assert report.ok
+        assert report.incomparable == []
+        assert [d.name for d in report.deltas] == ["fake.bench"]
 
     def test_no_threshold_reports_without_gating(self):
         base = _make_doc(rate_s=0.1)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import NetworkModel, SimulationConfig, TimeWarpSimulation
+from repro.apps.phold import PHOLDParams, build_phold
 from repro.apps.pingpong import build_pingpong
 from repro.apps.raid import RAIDParams, build_raid
 from repro.apps.smmp import SMMPParams, build_smmp
@@ -115,6 +116,58 @@ class TestApplyAssignment:
         objects = flatten(build_pingpong(4))
         with pytest.raises(ConfigurationError, match="empty"):
             apply_assignment(objects, {"ping": 0, "pong": 0}, 2)
+
+
+class TestPholdGraph:
+    """Partitioning the PHOLD communication graph (the parallel backend's
+    benchmark workload: high locality gives the partitioner structure)."""
+
+    PARAMS = PHOLDParams(n_objects=16, n_lps=2, jobs_per_object=3,
+                         locality=0.9, seed=5)
+
+    @pytest.fixture(scope="class")
+    def phold_graph(self):
+        return profile_model(flatten(build_phold(self.PARAMS)),
+                             end_time=2_000)
+
+    def test_partition_quality_invariants(self, phold_graph):
+        for strategy in (round_robin, greedy_growth, kernighan_lin):
+            quality = partition_quality(phold_graph, strategy(phold_graph, 2))
+            assert 0.0 <= quality["cut_fraction"] <= 1.0
+            assert quality["imbalance"] >= 1.0
+            assert len(quality["lp_loads"]) == 2
+            assert all(load > 0 for load in quality["lp_loads"])
+            assert sum(quality["lp_loads"]) == pytest.approx(
+                sum(phold_graph.loads.values())
+            )
+
+    def test_kl_exploits_locality(self, phold_graph):
+        # locality=0.9 keeps ~90% of traffic inside contiguous blocks; KL
+        # must recover that structure where round-robin scatters it
+        rr = partition_quality(
+            phold_graph, round_robin(phold_graph, 2))["cut_fraction"]
+        kl = partition_quality(
+            phold_graph, kernighan_lin(phold_graph, 2))["cut_fraction"]
+        assert kl < rr / 3
+
+    def test_kernighan_lin_deterministic_under_fixed_seed(self, phold_graph):
+        runs = [kernighan_lin(phold_graph, 2, seed=7) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_apply_assignment_round_trip(self, phold_graph):
+        assignment = kernighan_lin(phold_graph, 2)
+        objects = flatten(build_phold(self.PARAMS))
+        partition = apply_assignment(objects, assignment, 2)
+        # every object lands exactly once, in the shard the assignment says
+        seen = {obj.name: lp for lp, group in enumerate(partition)
+                for obj in group}
+        assert seen == assignment
+        assert sorted(seen) == sorted(o.name for o in objects)
+        # within a shard, original (flat) relative order is preserved
+        order = {obj.name: i for i, obj in enumerate(objects)}
+        for group in partition:
+            indices = [order[obj.name] for obj in group]
+            assert indices == sorted(indices)
 
 
 class TestEndToEnd:
