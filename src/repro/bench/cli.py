@@ -9,6 +9,7 @@ Subcommands::
     repro-bench perf --quick               # wall-clock perf suite
     repro-bench perf --compare benchmarks/baseline.json --fail-on-regress 25
     repro-bench parallel --workers 2       # validate the parallel backend
+    repro-bench verify fuzz --budget 40    # forwards to repro-verify
 
 Back-compat: the original flat spellings keep working — ``repro-bench
 --fig 5``, ``repro-bench --faults``, ``repro-bench --all`` and friends
@@ -34,7 +35,7 @@ _SERIES_META = {
     "9": ("agg age (us)", "Figure 9 — RAID: DyMA execution time vs aggregate age"),
 }
 
-_SUBCOMMANDS = ("figures", "faults", "perf", "parallel")
+_SUBCOMMANDS = ("figures", "faults", "perf", "parallel", "verify")
 
 
 def render(fig: str, results) -> str:
@@ -269,6 +270,11 @@ def _build_legacy_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "verify":
+        # the verification harness owns its own CLI (repro-verify)
+        from ..verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     if argv and argv[0] in _SUBCOMMANDS:
         parser = _build_subcommand_parser()
         args = parser.parse_args(argv)

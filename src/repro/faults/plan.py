@@ -76,6 +76,23 @@ class FaultRates:
     def any_active(self) -> bool:
         return bool(self.drop or self.duplicate or self.delay or self.reorder)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (non-zero rates only, for compact scenarios)."""
+        return {
+            name: value
+            for name in ("drop", "duplicate", "delay", "reorder")
+            if (value := getattr(self, name))
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRates":
+        unknown = set(data) - {"drop", "duplicate", "delay", "reorder"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-rate field(s): {sorted(unknown)}"
+            )
+        return cls(**data)
+
 
 @dataclass(frozen=True, slots=True)
 class FaultDecision:
@@ -158,6 +175,70 @@ class FaultPlan:
             raise ConfigurationError(
                 f"duplicate_lag must be >= 0, got {self.duplicate_lag!r}"
             )
+
+    # ------------------------------------------------------------------ #
+    # stable JSON form (the verify harness serializes plans in scenarios)
+    # ------------------------------------------------------------------ #
+    _SCALAR_FIELDS = (
+        "seed", "retransmit", "rto", "backoff", "max_retransmits",
+        "delay_factor", "reorder_factor", "duplicate_lag",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-able form; only fields differing from the defaults."""
+        default = type(self)()
+        doc: dict = {
+            name: getattr(self, name)
+            for name in self._SCALAR_FIELDS
+            if getattr(self, name) != getattr(default, name)
+        }
+        doc["seed"] = self.seed
+        if self.rates.any_active():
+            doc["rates"] = self.rates.to_dict()
+        if self.per_kind:
+            doc["per_kind"] = {
+                kind: rates.to_dict() for kind, rates in self.per_kind.items()
+            }
+        if self.per_channel:
+            # JSON keys must be strings: (src, dst) -> "src->dst"
+            doc["per_channel"] = {
+                f"{src}->{dst}": rates.to_dict()
+                for (src, dst), rates in self.per_channel.items()
+            }
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        kwargs: dict = {
+            name: data[name] for name in cls._SCALAR_FIELDS if name in data
+        }
+        if "rates" in data:
+            kwargs["rates"] = FaultRates.from_dict(data["rates"])
+        if "per_kind" in data:
+            kwargs["per_kind"] = {
+                kind: FaultRates.from_dict(rates)
+                for kind, rates in data["per_kind"].items()
+            }
+        if "per_channel" in data:
+            per_channel: dict[tuple[int, int], FaultRates] = {}
+            for key, rates in data["per_channel"].items():
+                try:
+                    src, dst = key.split("->")
+                    channel = (int(src), int(dst))
+                except ValueError:
+                    raise ConfigurationError(
+                        f"per_channel key {key!r} is not 'src->dst'"
+                    ) from None
+                per_channel[channel] = FaultRates.from_dict(rates)
+            kwargs["per_channel"] = per_channel
+        unknown = set(data) - set(kwargs) - {"rates", "per_kind", "per_channel"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FaultPlan field(s): {sorted(unknown)}"
+            )
+        plan = cls(**kwargs)
+        plan.validate()
+        return plan
 
     # ------------------------------------------------------------------ #
     def rates_for(self, channel: tuple[int, int], kind: str) -> FaultRates:

@@ -32,6 +32,7 @@ Violations are recorded on ``oracle.violations``, emitted as
 from __future__ import annotations
 
 import dataclasses
+from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -113,9 +114,19 @@ class InvariantOracle:
         self.violations: list[InvariantViolation] = []
         #: how many individual invariant checks ran (proof of coverage)
         self.checks = 0
+        #: check count per hook kind (state_save, state_restore, rollback,
+        #: gvt_estimate, wire_check, wire_final, message_loss,
+        #: anti_pairing) — the verify harness uses which kinds fired as a
+        #: coverage signal (docs/testing.md)
+        self.checks_by_kind: Counter[str] = Counter()
         self._committed_gvt = float("-inf")
         #: id(snapshot) -> (snapshot, digest-at-save); pruned at GVT commits
         self._snapshots: dict[int, tuple[SavedState, str]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _check(self, kind: str) -> None:
+        self.checks += 1
+        self.checks_by_kind[kind] += 1
 
     # ------------------------------------------------------------------ #
     def _violate(self, invariant: str, t: float, detail: str) -> None:
@@ -133,13 +144,13 @@ class InvariantOracle:
     # state fidelity
     # ------------------------------------------------------------------ #
     def on_state_save(self, t: float, lp: int, obj: str, snapshot) -> None:
-        self.checks += 1
+        self._check("state_save")
         self._snapshots[id(snapshot)] = (snapshot, state_digest(snapshot.state))
 
     def on_state_restore(
         self, t: float, lp: int, obj: str, snapshot, restored
     ) -> None:
-        self.checks += 1
+        self._check("state_restore")
         entry = self._snapshots.get(id(snapshot))
         if entry is None or entry[0] is not snapshot:
             return  # saved before the oracle was attached
@@ -161,7 +172,7 @@ class InvariantOracle:
     # rollback vs committed GVT
     # ------------------------------------------------------------------ #
     def on_rollback(self, t: float, lp: int, obj: str, to_time) -> None:
-        self.checks += 1
+        self._check("rollback")
         if to_time < self._committed_gvt:
             self._violate(
                 "gvt_safety", t,
@@ -173,7 +184,7 @@ class InvariantOracle:
     # GVT rounds
     # ------------------------------------------------------------------ #
     def on_gvt_estimate(self, t: float, estimate, committed) -> None:
-        self.checks += 1
+        self._check("gvt_estimate")
         if estimate < self._committed_gvt:
             self._violate(
                 "gvt_monotonic", t,
@@ -194,7 +205,7 @@ class InvariantOracle:
     # wire conservation
     # ------------------------------------------------------------------ #
     def on_wire_check(self, t: float, network) -> None:
-        self.checks += 1
+        self._check("wire_check")
         counts = network.wire_counts()
         if counts["sent"] != (
             counts["delivered"] + counts["lost"] + counts["in_flight"]
@@ -213,14 +224,14 @@ class InvariantOracle:
         network = executive.network
         self.on_wire_check(t, network)
         counts = network.wire_counts()
-        self.checks += 1
+        self._check("wire_final")
         if counts["in_flight"]:
             self._violate(
                 "wire_conservation", t,
                 f"{counts['in_flight']} message(s) still in flight at end "
                 "of run",
             )
-        self.checks += 1
+        self._check("message_loss")
         if counts["lost"] or network.undelivered_data_count():
             self._violate(
                 "message_loss", t,
@@ -229,7 +240,7 @@ class InvariantOracle:
                 "delivered",
             )
         for lp in executive.lps:
-            self.checks += 1
+            self._check("anti_pairing")
             leftovers: list[str] = []
             for ctx in lp.members.values():
                 pending = ctx.iq.pending_anti_count()

@@ -1,0 +1,34 @@
+"""Deterministic simulation-testing harness (docs/testing.md).
+
+FoundationDB-style verification for the Time Warp reproduction: a seeded
+:class:`Scenario` spec covers the whole configuration lattice (app x
+topology x knobs x faults x backend), every run is checked differentially
+against the sequential golden plus the invariant oracle, failures shrink
+to a minimal replayable ``repro_*.json``, and a checked-in corpus under
+``tests/corpus/`` replays byte-identically in CI.
+
+Entry points: the ``repro-verify`` CLI (``sweep`` / ``fuzz`` / ``replay``
+/ ``corpus``) and, programmatically, :func:`run_scenario` /
+:func:`run_fuzz`.
+"""
+
+from .coverage import CoverageMap, features_for
+from .fuzzer import FuzzReport, run_fuzz
+from .lattice import sweep_scenarios
+from .runner import ScenarioResult, run_scenario, sequential_golden
+from .scenario import SCHEMA_SCENARIO, Scenario
+from .shrink import shrink
+
+__all__ = [
+    "CoverageMap",
+    "FuzzReport",
+    "SCHEMA_SCENARIO",
+    "Scenario",
+    "ScenarioResult",
+    "features_for",
+    "run_fuzz",
+    "run_scenario",
+    "sequential_golden",
+    "shrink",
+    "sweep_scenarios",
+]

@@ -1,0 +1,154 @@
+"""Replayable scenario files: the corpus and shrunk repro captures.
+
+Two document kinds share one envelope (``scenario`` + metadata):
+
+* **corpus** files (``tests/corpus/*.json``) pin a scenario together
+  with its expected committed-state digest; CI replays each twice and
+  the digests must match the recorded one byte-identically both times;
+* **repro** files (``repro_<id>.json``) are written by the fuzzer for a
+  shrunk divergence and carry the observed failure instead of an
+  expectation; ``repro-verify replay`` re-executes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..kernel.errors import ConfigurationError
+from .runner import ScenarioResult, run_scenario
+from .scenario import Scenario
+
+SCHEMA_CORPUS = "repro-verify-corpus-1"
+SCHEMA_REPRO = "repro-verify-repro-1"
+
+
+# --------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------- #
+def _dump(path: Path, doc: dict) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def write_corpus_entry(
+    dir_path: str | Path,
+    scenario: Scenario,
+    result: ScenarioResult,
+    *,
+    note: str = "",
+) -> Path:
+    """Pin a passing scenario with its digest as a corpus file."""
+    if not result.ok:
+        raise ConfigurationError(
+            f"refusing to pin a failing scenario ({result.failure_kind}) "
+            "as a corpus entry; capture it with write_repro instead"
+        )
+    doc = {
+        "schema": SCHEMA_CORPUS,
+        "scenario": scenario.to_dict(),
+        "expect": {"digest": result.digest, "committed": result.committed},
+        "note": note,
+    }
+    name = f"scenario_{scenario.app}_{scenario.scenario_id()}.json"
+    return _dump(Path(dir_path) / name, doc)
+
+
+def write_repro(
+    dir_path: str | Path,
+    shrunk: Scenario,
+    original_result: ScenarioResult,
+    original: Scenario,
+) -> Path:
+    """Capture a shrunk divergence as a replayable repro file."""
+    doc = {
+        "schema": SCHEMA_REPRO,
+        "scenario": shrunk.to_dict(),
+        "failure": {
+            "kind": original_result.failure_kind,
+            "detail": original_result.describe(),
+        },
+        "shrunk_from": original.to_dict(),
+    }
+    return _dump(Path(dir_path) / f"repro_{shrunk.scenario_id()}.json", doc)
+
+
+# --------------------------------------------------------------------- #
+# loading and replaying
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """One file's replay verdict."""
+
+    path: str
+    scenario: Scenario
+    results: tuple[ScenarioResult, ...]
+    expected_digest: str | None
+
+    @property
+    def deterministic(self) -> bool:
+        digests = {r.digest for r in self.results}
+        return len(digests) == 1
+
+    @property
+    def ok(self) -> bool:
+        if not all(r.ok for r in self.results):
+            return False
+        if not self.deterministic:
+            return False
+        if self.expected_digest is not None:
+            return self.results[0].digest == self.expected_digest
+        return True
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        first = self.results[0]
+        parts = [
+            f"{status} {self.path}: digest {first.digest[:16]}..."
+            f" ({first.committed} events, {len(self.results)} run(s))"
+        ]
+        if not self.deterministic:
+            parts.append("  NON-DETERMINISTIC: runs produced different digests")
+        if (
+            self.expected_digest is not None
+            and first.digest != self.expected_digest
+        ):
+            parts.append(
+                f"  digest drifted from recorded {self.expected_digest[:16]}..."
+            )
+        for result in self.results:
+            if not result.ok:
+                parts.append("  " + result.describe())
+                break
+        return "\n".join(parts)
+
+
+def load_scenario_file(path: str | Path) -> tuple[Scenario, str | None]:
+    """Load any envelope (corpus / repro / bare scenario) from ``path``."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = doc.get("schema", "")
+    if schema in (SCHEMA_CORPUS, SCHEMA_REPRO):
+        scenario = Scenario.from_dict(doc["scenario"])
+        expect = doc.get("expect") or {}
+        return scenario, expect.get("digest")
+    # bare scenario document
+    return Scenario.from_dict(doc), None
+
+
+def replay_file(path: str | Path, *, runs: int = 2) -> ReplayOutcome:
+    """Re-execute a scenario file ``runs`` times and compare digests."""
+    scenario, expected = load_scenario_file(path)
+    results = tuple(run_scenario(scenario) for _ in range(runs))
+    return ReplayOutcome(
+        path=str(path),
+        scenario=scenario,
+        results=results,
+        expected_digest=expected,
+    )
+
+
+def corpus_files(dir_path: str | Path) -> list[Path]:
+    return sorted(Path(dir_path).glob("*.json"))

@@ -1,0 +1,450 @@
+"""The seeded :class:`Scenario` spec and its stable JSON form.
+
+A scenario pins *everything* that selects one verification run: the
+application and its topology parameters, every configuration knob the
+paper treats as tunable (cancellation variant, checkpoint interval,
+aggregation policy, snapshot strategy, GVT algorithm/period, optimism
+window), the execution backend (modelled Time Warp, conservative,
+process-sharded parallel), modelled heterogeneity, and an optional fault
+plan.  Serialization is canonical (sorted keys, all fields explicit) so
+a scenario file replays byte-identically and diffs cleanly.
+
+The knob fields mirror the paper's configuration space:
+
+* ``cancellation`` — ``aggressive`` / ``lazy`` / ``dynamic`` (DC) /
+  ``st`` / ``ps32`` (PS-n) / ``pa10`` (PA-n);
+* ``checkpoint`` — a static chi in [1, 256] or ``"dynamic"``;
+* ``aggregation`` — ``none`` / ``fixed`` (FAW) / ``saaw``, with
+  ``aggregation_window`` as the initial window;
+* ``snapshot`` — ``copy`` / ``pickle`` / ``deepcopy``;
+* ``gvt_algorithm`` — ``omniscient`` / ``mattern``;
+* ``time_window`` — ``none`` / ``adaptive``.
+
+All of these are **modelled-only** with respect to the committed result:
+whatever the knobs, a run must commit exactly the events the sequential
+kernel executes.  That metamorphic claim is what the verify harness
+checks across the lattice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable
+
+from ..apps.phold import PHOLDParams, build_phold
+from ..apps.pingpong import build_pingpong
+from ..apps.raid import RAIDParams, build_raid
+from ..apps.smmp import SMMPParams, build_smmp
+from ..comm.aggregation import FixedWindow, NoAggregation
+from ..core.aggregation_controller import SAAWPolicy
+from ..core.cancellation_controller import (
+    DynamicCancellation,
+    PermanentAggressive,
+    PermanentSet,
+    single_threshold,
+)
+from ..core.checkpoint_controller import DynamicCheckpoint
+from ..core.window_controller import AdaptiveTimeWindow
+from ..faults.plan import FaultPlan
+from ..kernel.cancellation import Mode, StaticCancellation
+from ..kernel.checkpointing import MAX_INTERVAL, StaticCheckpoint
+from ..kernel.config import SimulationConfig
+from ..kernel.errors import ConfigurationError
+
+SCHEMA_SCENARIO = "repro-verify-scenario-1"
+
+#: cancellation variants, in the paper's vocabulary
+CANCELLATION_VARIANTS = ("aggressive", "lazy", "dynamic", "st", "ps32", "pa10")
+AGGREGATION_VARIANTS = ("none", "fixed", "saaw")
+SNAPSHOT_VARIANTS = ("copy", "pickle", "deepcopy")
+GVT_VARIANTS = ("omniscient", "mattern")
+TIME_WINDOW_VARIANTS = ("none", "adaptive")
+BACKENDS = ("modelled", "conservative", "parallel")
+
+
+# --------------------------------------------------------------------- #
+# application registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AppSpec:
+    """One verifiable application: builder, sizing, shrink floors."""
+
+    name: str
+    #: verify-sized parameter baseline (small: scenarios run in ~ms)
+    base_params: dict
+    #: partition builder given the merged parameter dict
+    build: Callable[[dict], list]
+    #: default virtual-time horizon (PHOLD is unbounded and needs one)
+    default_end_time: float
+    #: safe conservative lookahead as a function of the merged params
+    lookahead: Callable[[dict], float]
+    #: fuzzable topology knobs: name -> candidate values (first = floor,
+    #: used by the shrinker)
+    fuzz_values: dict[str, tuple]
+
+    def merged(self, overrides: dict) -> dict:
+        unknown = set(overrides) - set(self.base_params)
+        if unknown:
+            raise ConfigurationError(
+                f"{self.name}: unknown app param(s) {sorted(unknown)} "
+                f"(fuzzable: {sorted(self.base_params)})"
+            )
+        return {**self.base_params, **overrides}
+
+
+def _build_phold_app(params: dict) -> list:
+    return build_phold(PHOLDParams(**params))
+
+
+def _build_smmp_app(params: dict) -> list:
+    return build_smmp(SMMPParams(**params))
+
+
+def _build_raid_app(params: dict) -> list:
+    return build_raid(RAIDParams(**params))
+
+
+def _build_pingpong_app(params: dict) -> list:
+    return build_pingpong(rounds=params["rounds"], delay=params["delay"])
+
+
+APP_SPECS: dict[str, AppSpec] = {
+    "phold": AppSpec(
+        name="phold",
+        base_params={
+            "n_objects": 8, "n_lps": 3, "jobs_per_object": 2,
+            "state_size_ints": 4, "deterministic_fraction": 1.0,
+            "locality": 0.0, "seed": 11,
+        },
+        build=_build_phold_app,
+        default_end_time=200.0,
+        lookahead=lambda p: 5.0,  # PHOLDParams.min_delay default
+        fuzz_values={
+            "n_objects": (4, 6, 8, 12),
+            "n_lps": (1, 2, 3, 4),
+            "jobs_per_object": (1, 2, 3),
+            "state_size_ints": (0, 4, 8),
+            "deterministic_fraction": (0.0, 0.5, 1.0),
+            "locality": (0.0, 0.5, 0.9),
+            "seed": (2, 11, 23),
+        },
+    ),
+    "smmp": AppSpec(
+        name="smmp",
+        base_params={
+            "n_processors": 4, "n_lps": 2, "n_banks": 4,
+            "requests_per_processor": 5, "pipeline_depth": 2,
+        },
+        build=_build_smmp_app,
+        default_end_time=float("inf"),
+        lookahead=lambda p: 1.0,  # < bus_time, the smallest SMMP delay
+        # value sets are closed under combination: every n_lps divides
+        # every n_processors and n_banks choice (SMMPParams.validate)
+        fuzz_values={
+            "n_processors": (4, 8),
+            "n_lps": (1, 2, 4),
+            "n_banks": (4, 8),
+            "requests_per_processor": (2, 5, 8),
+            "pipeline_depth": (1, 2, 3),
+        },
+    ),
+    "raid": AppSpec(
+        name="raid",
+        base_params={
+            "n_sources": 4, "n_forks": 2, "n_disks": 4, "n_lps": 2,
+            "requests_per_source": 6, "pipeline_depth": 2, "seed": 7,
+        },
+        build=_build_raid_app,
+        default_end_time=float("inf"),
+        lookahead=lambda p: 5.0,  # RAIDParams.fork_time default
+        # closed under combination: n_forks | n_sources, n_lps | n_forks,
+        # n_lps | n_disks for every choice (RAIDParams.validate)
+        fuzz_values={
+            "n_sources": (4, 8),
+            "n_forks": (2, 4),
+            "n_disks": (4, 8),
+            "n_lps": (1, 2),
+            "requests_per_source": (2, 6, 10),
+            "pipeline_depth": (1, 2, 3),
+            "seed": (3, 7, 13),
+        },
+    ),
+    "pingpong": AppSpec(
+        name="pingpong",
+        base_params={"rounds": 60, "delay": 10.0},
+        build=_build_pingpong_app,
+        default_end_time=float("inf"),
+        lookahead=lambda p: p["delay"],
+        fuzz_values={
+            "rounds": (5, 20, 60, 120),
+            "delay": (5.0, 10.0),
+        },
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# the scenario itself
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, replayable description of one verification run."""
+
+    app: str = "phold"
+    #: overrides over the app's verify-sized baseline (see APP_SPECS)
+    app_params: dict = field(default_factory=dict)
+    #: virtual-time horizon; ``None`` = the app's default
+    end_time: float | None = None
+
+    backend: str = "modelled"
+    #: worker-process count (parallel backend only)
+    workers: int = 1
+
+    cancellation: str = "aggressive"
+    #: static chi in [1, MAX_INTERVAL] or "dynamic"
+    checkpoint: int | str = 1
+    aggregation: str = "none"
+    #: FAW window / SAAW initial window, wall-clock microseconds
+    aggregation_window: float = 100.0
+    snapshot: str = "copy"
+    gvt_algorithm: str = "omniscient"
+    gvt_period: float = 50_000.0
+    time_window: str = "none"
+
+    #: modelled per-LP slowdown factors, keyed by LP id (JSON: str keys)
+    lp_speed_factors: dict = field(default_factory=dict)
+    #: :meth:`FaultPlan.to_dict` form, or ``None`` for a perfect wire
+    faults: dict | None = None
+
+    #: generator provenance (which fuzz seed produced this scenario);
+    #: does not influence execution
+    seed: int = 0
+
+    # -- validation ---------------------------------------------------- #
+    def validate(self) -> None:
+        spec = APP_SPECS.get(self.app)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown app {self.app!r} (known: {sorted(APP_SPECS)})"
+            )
+        spec.merged(self.app_params)  # raises on unknown params
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r} (known: {BACKENDS})"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.cancellation not in CANCELLATION_VARIANTS:
+            raise ConfigurationError(
+                f"unknown cancellation variant {self.cancellation!r} "
+                f"(known: {CANCELLATION_VARIANTS})"
+            )
+        if isinstance(self.checkpoint, str):
+            if self.checkpoint != "dynamic":
+                raise ConfigurationError(
+                    f"checkpoint must be an interval or 'dynamic', "
+                    f"got {self.checkpoint!r}"
+                )
+        elif not 1 <= self.checkpoint <= MAX_INTERVAL:
+            raise ConfigurationError(
+                f"checkpoint interval must be in [1, {MAX_INTERVAL}], "
+                f"got {self.checkpoint!r}"
+            )
+        if self.aggregation not in AGGREGATION_VARIANTS:
+            raise ConfigurationError(
+                f"unknown aggregation variant {self.aggregation!r}"
+            )
+        if self.aggregation_window <= 0:
+            raise ConfigurationError("aggregation_window must be positive")
+        if self.snapshot not in SNAPSHOT_VARIANTS:
+            raise ConfigurationError(f"unknown snapshot {self.snapshot!r}")
+        if self.gvt_algorithm not in GVT_VARIANTS:
+            raise ConfigurationError(
+                f"unknown GVT algorithm {self.gvt_algorithm!r}"
+            )
+        if self.gvt_period <= 0:
+            raise ConfigurationError("gvt_period must be positive")
+        if self.time_window not in TIME_WINDOW_VARIANTS:
+            raise ConfigurationError(
+                f"unknown time_window {self.time_window!r}"
+            )
+        for lp_id, factor in self.lp_speed_factors.items():
+            if int(lp_id) < 0 or float(factor) <= 0:
+                raise ConfigurationError(
+                    f"bad speed factor {factor!r} for LP {lp_id!r}"
+                )
+        if self.faults is not None:
+            FaultPlan.from_dict(self.faults)  # validates
+        if self.backend == "conservative":
+            # The conservative kernel has no Time Warp machinery: every
+            # rollback-related knob must be at its default so the scenario
+            # does not claim coverage it cannot exercise.
+            defaults = Scenario()
+            for name in (
+                "cancellation", "checkpoint", "aggregation", "snapshot",
+                "gvt_algorithm", "time_window",
+            ):
+                if getattr(self, name) != getattr(defaults, name):
+                    raise ConfigurationError(
+                        f"backend='conservative' ignores {name}; leave it "
+                        "at the default"
+                    )
+            if self.faults is not None:
+                raise ConfigurationError(
+                    "backend='conservative' does not model network faults"
+                )
+            if self.workers != 1:
+                raise ConfigurationError(
+                    "backend='conservative' runs in-process (workers=1)"
+                )
+        if self.backend == "parallel":
+            if self.faults is not None:
+                raise ConfigurationError(
+                    "backend='parallel' does not support fault injection "
+                    "(docs/parallel.md)"
+                )
+            if self.lp_speed_factors:
+                raise ConfigurationError(
+                    "backend='parallel' runs on real CPUs; modelled "
+                    "lp_speed_factors do not apply"
+                )
+            if self.time_window != "none":
+                raise ConfigurationError(
+                    "backend='parallel' does not support time windows"
+                )
+            if self.gvt_algorithm != "omniscient":
+                raise ConfigurationError(
+                    "backend='parallel' always uses its own distributed "
+                    "GVT coordinator; leave gvt_algorithm at the default"
+                )
+
+    # -- derived ------------------------------------------------------- #
+    @property
+    def spec(self) -> AppSpec:
+        return APP_SPECS[self.app]
+
+    def merged_params(self) -> dict:
+        return self.spec.merged(self.app_params)
+
+    def effective_end_time(self) -> float:
+        return (
+            self.end_time
+            if self.end_time is not None
+            else self.spec.default_end_time
+        )
+
+    def build_partition(self) -> list:
+        return self.spec.build(self.merged_params())
+
+    def fault_plan(self) -> FaultPlan | None:
+        return None if self.faults is None else FaultPlan.from_dict(self.faults)
+
+    def speed_factors(self) -> dict[int, float]:
+        return {int(k): float(v) for k, v in self.lp_speed_factors.items()}
+
+    def build_config(self, **extra: Any) -> SimulationConfig:
+        """The :class:`SimulationConfig` this scenario describes.
+
+        ``extra`` lets the runner attach run-local plumbing (oracle,
+        tracer, record_trace, max_executed_events) without those living
+        in the serialized spec.
+        """
+        kwargs: dict[str, Any] = dict(
+            cancellation=_cancellation_factory(self.cancellation),
+            checkpoint=_checkpoint_factory(self.checkpoint),
+            aggregation=_aggregation_factory(
+                self.aggregation, self.aggregation_window
+            ),
+            snapshot=self.snapshot,
+            gvt_algorithm=self.gvt_algorithm,
+            gvt_period=self.gvt_period,
+            end_time=self.effective_end_time(),
+            backend="parallel" if self.backend == "parallel" else "modelled",
+            workers=self.workers if self.backend == "parallel" else 1,
+            faults=self.fault_plan(),
+            lp_speed_factors=self.speed_factors(),
+        )
+        if self.time_window == "adaptive":
+            kwargs["time_window"] = lambda: AdaptiveTimeWindow()
+        kwargs.update(extra)
+        return SimulationConfig(**kwargs)
+
+    # -- canonical JSON ------------------------------------------------ #
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {"schema": SCHEMA_SCENARIO}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "end_time" and value == float("inf"):
+                value = None  # JSON has no Infinity; None means app default
+            doc[f.name] = value
+        return doc
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, two-space indent."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        data = dict(data)
+        schema = data.pop("schema", SCHEMA_SCENARIO)
+        if schema != SCHEMA_SCENARIO:
+            raise ConfigurationError(
+                f"unsupported scenario schema {schema!r} "
+                f"(expected {SCHEMA_SCENARIO!r})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario field(s): {sorted(unknown)}"
+            )
+        scenario = cls(**data)
+        scenario.validate()
+        return scenario
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def scenario_id(self) -> str:
+        """Short content hash naming repro/corpus files."""
+        doc = self.to_dict()
+        doc.pop("seed", None)  # provenance, not behaviour
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """`dataclasses.replace` spelled for shrinker/fuzzer call sites."""
+        return replace(self, **changes)
+
+
+# --------------------------------------------------------------------- #
+# knob -> factory resolution
+# --------------------------------------------------------------------- #
+def _cancellation_factory(variant: str):
+    makers = {
+        "aggressive": lambda: StaticCancellation(Mode.AGGRESSIVE),
+        "lazy": lambda: StaticCancellation(Mode.LAZY),
+        "dynamic": lambda: DynamicCancellation(),
+        "st": lambda: single_threshold(),
+        "ps32": lambda: PermanentSet(lock_after=32),
+        "pa10": lambda: PermanentAggressive(miss_streak=10),
+    }
+    make = makers[variant]
+    return lambda _obj: make()
+
+
+def _checkpoint_factory(checkpoint: int | str):
+    if checkpoint == "dynamic":
+        return lambda _obj: DynamicCheckpoint()
+    return lambda _obj: StaticCheckpoint(int(checkpoint))
+
+
+def _aggregation_factory(variant: str, window: float):
+    if variant == "none":
+        return lambda _lp: NoAggregation()
+    if variant == "fixed":
+        return lambda _lp: FixedWindow(window)
+    return lambda _lp: SAAWPolicy(initial_window_us=window)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import SequentialSimulation
+from repro import SequentialSimulation, SimulationConfig, TimeWarpSimulation
 from repro.apps.phold import PHOLDParams, build_phold
 from repro.apps.pingpong import build_pingpong
 from repro.apps.raid import RAIDParams, build_raid
@@ -60,6 +60,32 @@ class TestEquivalence:
                                       record_trace=True, **kwargs)
         cons.run()
         assert cons.sorted_trace() == seq.sorted_trace()
+
+    @pytest.mark.parametrize("name,builder,lookahead,kwargs", [
+        ("raid",
+         lambda: build_raid(RAIDParams(requests_per_source=20)),
+         5.0, {}),
+        ("phold-local",
+         lambda: build_phold(PHOLDParams(n_objects=10, n_lps=4,
+                                         locality=0.9)),
+         5.0, {"end_time": 800.0}),
+        ("phold-mixed-locality",
+         lambda: build_phold(PHOLDParams(n_objects=8, n_lps=2, locality=0.5,
+                                         jobs_per_object=2)),
+         5.0, {"end_time": 500.0}),
+    ])
+    def test_matches_time_warp(self, name, builder, lookahead, kwargs):
+        """Both synchronization protocols commit the identical trace."""
+        tw = TimeWarpSimulation(
+            builder(),
+            SimulationConfig(record_trace=True,
+                             end_time=kwargs.get("end_time", float("inf"))),
+        )
+        tw.run()
+        cons = ConservativeSimulation(builder(), lookahead=lookahead,
+                                      record_trace=True, **kwargs)
+        cons.run()
+        assert cons.sorted_trace() == tw.sorted_trace()
 
     def test_never_rolls_back(self):
         cons = ConservativeSimulation(

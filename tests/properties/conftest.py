@@ -1,0 +1,26 @@
+"""Hypothesis profiles for the property-based tier (docs/testing.md).
+
+CI must be deterministic and immune to machine-speed flakes, so the
+default ``ci`` profile derandomizes example generation and disables the
+per-example deadline.  Developers hunting new counterexamples can opt
+back into randomized search with ``HYPOTHESIS_PROFILE=dev``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=200,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
