@@ -42,6 +42,7 @@ from .core import (
 )
 from .comm.aggregation import FixedWindow, NoAggregation
 from .conservative import ConservativeSimulation
+from .control import MetaController
 from .faults import FaultPlan, FaultRates
 from .oracle import InvariantOracle, InvariantViolation
 from .sequential import SequentialSimulation
@@ -60,6 +61,7 @@ __all__ = [
     "FixedWindow",
     "InvariantOracle",
     "InvariantViolation",
+    "MetaController",
     "Mode",
     "NetworkModel",
     "NoAggregation",

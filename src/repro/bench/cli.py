@@ -9,6 +9,7 @@ Subcommands::
     repro-bench perf --quick               # wall-clock perf suite
     repro-bench perf --compare benchmarks/baseline.json --fail-on-regress 25
     repro-bench parallel --workers 2       # validate the parallel backend
+    repro-bench ablate --knob checkpoint   # static-best vs on-line control
     repro-bench verify fuzz --budget 40    # forwards to repro-verify
 
 Back-compat: the original flat spellings keep working — ``repro-bench
@@ -35,7 +36,7 @@ _SERIES_META = {
     "9": ("agg age (us)", "Figure 9 — RAID: DyMA execution time vs aggregate age"),
 }
 
-_SUBCOMMANDS = ("figures", "faults", "perf", "parallel", "verify")
+_SUBCOMMANDS = ("figures", "faults", "perf", "parallel", "ablate", "verify")
 
 
 def render(fig: str, results) -> str:
@@ -206,6 +207,83 @@ def run_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_ablate(args: argparse.Namespace) -> int:
+    from ..control.registry import KNOBS
+    from .ablate import (
+        ABLATE_APPS,
+        render_ablate,
+        run_ablate as run_sweep,
+        write_ablate_document,
+    )
+
+    knobs = tuple(args.knob) if args.knob else None
+    apps = tuple(args.app) if args.app else None
+    scale = args.scale if args.scale is not None else 0.05
+    replicates = args.replicates
+    if args.quick:
+        # CI-sized: two knobs, tiny workloads, still static-vs-dynamic
+        knobs = knobs or ("checkpoint", "cancellation")
+        if args.scale is None:
+            scale = 0.02
+        replicates = min(replicates, 2)
+    if knobs is not None:
+        unknown = sorted(set(knobs) - set(KNOBS))
+        if unknown:
+            raise SystemExit(f"repro-bench ablate: unknown knob(s) "
+                             f"{', '.join(unknown)}; see repro-control list")
+    if apps is not None:
+        unknown = sorted(set(apps) - set(ABLATE_APPS))
+        if unknown:
+            raise SystemExit(f"repro-bench ablate: unknown app(s) "
+                             f"{', '.join(unknown)}")
+
+    start = time.perf_counter()
+    results = run_sweep(
+        knobs, apps, scale=scale, replicates=replicates,
+        tolerance=args.tolerance,
+        progress=lambda label: print(f"  sweeping {label} ...",
+                                     file=sys.stderr),
+    )
+    print(render_ablate(results))
+    print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+    if args.json:
+        path = write_ablate_document(
+            results, args.json, scale=scale, replicates=replicates
+        )
+        print(f"document written to {path}")
+    if args.fail_on_loss and not all(r.ok for r in results):
+        return 1
+    return 0
+
+
+def _add_ablate_args(parser: argparse.ArgumentParser) -> None:
+    from .ablate import DEFAULT_TOLERANCE
+
+    parser.add_argument("--knob", action="append", metavar="NAME",
+                        help="knob to ablate (repeatable; default: every "
+                             "registered knob — see repro-control list)")
+    parser.add_argument("--app", action="append",
+                        choices=("phold", "smmp"),
+                        help="workload to sweep on (repeatable; default: "
+                             "each knob's declared apps)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (1.0 = paper size; "
+                             "default 0.05, or 0.02 with --quick)")
+    parser.add_argument("--replicates", type=int, default=3,
+                        help="seeded replicates per cell")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed dynamic-vs-best-static shortfall "
+                             "(fraction; default %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized: 2 knobs, tiny scale, 2 replicates")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the sweep as a JSON document")
+    parser.add_argument("--fail-on-loss", action="store_true",
+                        help="exit non-zero if any dynamic run loses to "
+                             "its best static beyond the tolerance")
+
+
 # --------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------- #
@@ -248,6 +326,12 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--trace-dir", metavar="DIR",
                           help="write per-shard JSONL traces into DIR")
     parallel.set_defaults(runner=run_parallel)
+    ablate = subparsers.add_parser(
+        "ablate",
+        help="per-knob static-best sweep vs on-line control "
+             "(docs/control.md)")
+    _add_ablate_args(ablate)
+    ablate.set_defaults(runner=run_ablate)
     return parser
 
 

@@ -74,6 +74,13 @@ class Executive:
         self._last_window_rolled = 0
         self._turn_scheduled = [False] * len(lps)
         self._gvt_tick_scheduled = False
+        #: the GVT round period in force; starts at the configured value
+        #: and is resized on line by the meta-controller when one is
+        #: attached (docs/control.md)
+        self.gvt_period = config.gvt_period
+        #: optional :class:`repro.control.MetaController`; set by the
+        #: kernel when ``config.meta_control`` is given
+        self.meta = None
         self.wallclock = 0.0
         self.terminated = False
         #: structured observability tracer (repro.trace); set by the kernel
@@ -133,7 +140,7 @@ class Executive:
                 lp.optimism_bound = self._window_width  # anchored at GVT 0
         for lp in self.lps:
             self._schedule_turn(lp, lp.clock)
-        self._schedule_gvt_tick(self.config.gvt_period)
+        self._schedule_gvt_tick(self.gvt_period)
         for when, adjustment in self.config.external_script:
             self._push(when, _EXTERNAL, adjustment)
 
@@ -145,7 +152,7 @@ class Executive:
         for lp in self.lps:
             if lp.has_work():
                 self._schedule_turn(lp, lp.clock)
-        self._schedule_gvt_tick(self.wallclock + self.config.gvt_period)
+        self._schedule_gvt_tick(self.wallclock + self.gvt_period)
 
     def on_new_gvt(self, estimate: float) -> None:
         self.gvt_history.append((self.wallclock, estimate))
@@ -154,6 +161,8 @@ class Executive:
             oracle.on_wire_check(self.wallclock, self.network)
         if self.window_policy is not None:
             self._run_window_control(estimate)
+        if self.meta is not None:
+            self.meta.on_gvt(self, estimate)
         if self.config.timeline is not None:
             self.config.timeline.record(self)
 
@@ -232,7 +241,7 @@ class Executive:
                     # forever); any in-progress round drains on its own.
                     continue
                 self.gvt_algorithm.start_round()
-                self._schedule_gvt_tick(when + self.config.gvt_period)
+                self._schedule_gvt_tick(when + self.gvt_period)
 
             if limit is not None and self._executed_events > limit:
                 raise TerminationError(

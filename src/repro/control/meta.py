@@ -1,0 +1,250 @@
+"""The meta-controller: one sample→decide→apply loop for global knobs.
+
+The paper's three controllers each own a private loop buried in the
+kernel (checkpointing inside the LP event loop, cancellation inside
+comparison resolution, DyMA inside the transport).  Those loops stay
+where they are — they are byte-trace-compatible registry entries (see
+:mod:`repro.control.registry`) — but the two knobs the paper leaves
+static, the GVT period and the snapshot strategy, have no natural home
+in any LP: their outputs are *global* quantities.  The
+:class:`MetaController` gives them one: the executive calls
+:meth:`MetaController.on_gvt` at every advancing GVT round, each
+registered global controller samples its output at its declared period
+``P``, runs its transfer function ``T``, and applies the move.
+
+Both controllers feed exclusively on modelled quantities (event
+counters, modelled state sizes) — never host wall time — so a run with
+meta-control enabled is exactly as deterministic as one without, and the
+byte-identical-trace test holds with the meta loop on.
+
+Like every control system here, the feedback competes for the CPU it is
+trying to save: each invocation charges
+:attr:`~repro.cluster.costmodel.CostModel.control_invocation_cost` to
+every LP, exactly like the adaptive-time-window loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.state import SNAPSHOT_STRATEGIES, resolve_snapshot_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.executive import Executive
+
+
+@dataclass
+class GvtPeriodController:
+    """On-line GVT-period control: memory pressure vs round overhead.
+
+    ``O`` is the uncommitted-history backlog per LP — executed minus
+    rolled-back minus committed events, i.e. the speculative history a
+    fossil pass cannot reclaim yet.  A large backlog means GVT rounds
+    are too rare to bound memory (shrink the period); a small one means
+    the rounds' control traffic is pure overhead (grow it).  Dead-zone
+    in between, multiplicative moves, clamped to a safe range — the same
+    shape as :class:`~repro.core.window_controller.AdaptiveTimeWindow`.
+    """
+
+    #: control period P, in advancing GVT rounds
+    period: int = 4
+    #: backlog per LP above which the period shrinks
+    high_backlog: float = 512.0
+    #: backlog per LP below which the period grows
+    low_backlog: float = 64.0
+    shrink: float = 0.5
+    grow: float = 1.5
+    min_period_us: float = 1_000.0
+    max_period_us: float = 1_000_000.0
+    last_verdict: str = ""
+    #: (backlog_per_lp, old_period, new_period) per invocation
+    history: list = field(default_factory=list)
+
+    def control(self, backlog_per_lp: float, current: float) -> float:
+        """One transfer-function evaluation: backlog -> new period."""
+        if backlog_per_lp > self.high_backlog:
+            new = max(current * self.shrink, self.min_period_us)
+            self.last_verdict = "backlog_high"
+        elif backlog_per_lp < self.low_backlog:
+            new = min(current * self.grow, self.max_period_us)
+            self.last_verdict = "backlog_low"
+        else:
+            new = current
+            self.last_verdict = "dead_zone"
+        self.history.append((backlog_per_lp, current, new))
+        return new
+
+
+@dataclass
+class SnapshotController:
+    """On-line snapshot-strategy selection by observed state size.
+
+    ``O`` is the mean live state size across simulation objects in
+    modelled bytes.  The snapshot micro-benchmarks (docs/benchmarking.md)
+    show ``copy`` winning for small flat states and ``pickle`` for large
+    container-heavy ones; the hysteresis pair (switch up at
+    ``large_state_bytes``, back down at half of it) keeps the strategy
+    from thrashing around the break-even point.  Switching mid-run is
+    safe because every strategy returns plain, independent state objects
+    (:mod:`repro.kernel.state`).
+    """
+
+    #: control period P, in advancing GVT rounds
+    period: int = 8
+    #: mean state bytes above which "pickle" takes over
+    large_state_bytes: float = 4096.0
+    last_verdict: str = ""
+    #: (mean_bytes, old_name, new_name) per invocation
+    history: list = field(default_factory=list)
+
+    def control(self, mean_bytes: float, current: str) -> str:
+        """One transfer-function evaluation: state size -> strategy name."""
+        if mean_bytes > self.large_state_bytes:
+            new = "pickle"
+            self.last_verdict = "state_large" if current != "pickle" else "dead_zone"
+        elif mean_bytes < self.large_state_bytes / 2 and current == "pickle":
+            new = "copy"
+            self.last_verdict = "state_small"
+        else:
+            new = current
+            self.last_verdict = "dead_zone"
+        self.history.append((mean_bytes, current, new))
+        return new
+
+
+#: the knobs a MetaController can own (the per-object/per-LP knobs are
+#: driven by their in-kernel loops; see repro.control.registry)
+META_KNOBS = ("gvt_period", "snapshot")
+
+
+class MetaController:
+    """Owns the sample→decide→apply loop for the registered global knobs.
+
+    Construct one per run (it holds per-run state) and hand it to
+    :class:`~repro.kernel.config.SimulationConfig` via the
+    ``meta_control`` factory field::
+
+        config = SimulationConfig(meta_control=lambda: MetaController())
+
+    The kernel attaches it to the executive; :meth:`on_gvt` then runs at
+    every advancing GVT round and invokes each knob's controller at that
+    knob's declared period.
+    """
+
+    def __init__(
+        self,
+        knobs: tuple[str, ...] = META_KNOBS,
+        *,
+        gvt_period: GvtPeriodController | None = None,
+        snapshot: SnapshotController | None = None,
+    ) -> None:
+        unknown = set(knobs) - set(META_KNOBS)
+        if unknown:
+            raise ConfigurationError(
+                f"MetaController cannot drive {sorted(unknown)}; "
+                f"meta-managed knobs are {META_KNOBS} (docs/control.md)"
+            )
+        self.knobs = tuple(knobs)
+        self.gvt_period = gvt_period or GvtPeriodController()
+        self.snapshot = snapshot or SnapshotController()
+        self._rounds = 0
+        self._snapshot_name = "copy"
+        self._attached = False
+        #: (round, knob, old, new, verdict) per invocation, for reports
+        self.history: list[tuple[int, str, object, object, str]] = []
+
+    # ------------------------------------------------------------------ #
+    def attach(self, executive: "Executive", snapshot_spec: object) -> None:
+        """Wire the loop into a run (called by the kernel facade)."""
+        self._attached = True
+        if isinstance(snapshot_spec, str):
+            self._snapshot_name = snapshot_spec
+        elif "snapshot" in self.knobs:
+            raise ConfigurationError(
+                "meta-managed snapshot control needs a named strategy "
+                f"({sorted(SNAPSHOT_STRATEGIES)}), not an instance"
+            )
+        executive.meta = self
+
+    # ------------------------------------------------------------------ #
+    def on_gvt(self, executive: "Executive", gvt: float) -> None:
+        """One advancing GVT round: run every due knob controller."""
+        self._rounds += 1
+        invoked = False
+        if "gvt_period" in self.knobs and self._rounds % self.gvt_period.period == 0:
+            self._control_gvt_period(executive, gvt)
+            invoked = True
+        if "snapshot" in self.knobs and self._rounds % self.snapshot.period == 0:
+            self._control_snapshot(executive)
+            invoked = True
+        if invoked:
+            # feedback competes for the CPU it tunes, like window control
+            for lp in executive.lps:
+                lp.charge(lp.costs.control_invocation_cost)
+
+    def _control_gvt_period(self, executive: "Executive", gvt: float) -> None:
+        executed = executive.executed_events
+        committed = rolled = 0
+        for lp in executive.lps:
+            for ctx in lp.members.values():
+                committed += ctx.stats.events_committed
+                rolled += ctx.stats.events_rolled_back
+        backlog = max(0, executed - rolled - committed)
+        per_lp = backlog / max(1, len(executive.lps))
+        old = executive.gvt_period
+        new = self.gvt_period.control(per_lp, old)
+        executive.gvt_period = new
+        self.history.append(
+            (self._rounds, "gvt_period", old, new, self.gvt_period.last_verdict)
+        )
+        tracer = executive.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "ctrl.gvt", executive.wallclock,
+                o=per_lp,
+                old=old,
+                new=new,
+                verdict=self.gvt_period.last_verdict,
+                executed=executed,
+                committed=committed,
+                gvt=gvt,
+            )
+
+    def _control_snapshot(self, executive: "Executive") -> None:
+        total = 0.0
+        objects = 0
+        for lp in executive.lps:
+            for ctx in lp.members.values():
+                objects += 1
+                state = ctx.state
+                if hasattr(state, "size_bytes"):
+                    total += state.size_bytes()
+        mean = total / max(1, objects)
+        old = self._snapshot_name
+        new = self.snapshot.control(mean, old)
+        if new != old:
+            strategy = resolve_snapshot_strategy(new)
+            for lp in executive.lps:
+                lp.snapshot_strategy = strategy
+            self._snapshot_name = new
+        self.history.append(
+            (self._rounds, "snapshot", old, new, self.snapshot.last_verdict)
+        )
+        tracer = executive.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "ctrl.snapshot", executive.wallclock,
+                o=mean,
+                old=old,
+                new=new,
+                verdict=self.snapshot.last_verdict,
+                objects=objects,
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot_strategy_name(self) -> str:
+        """The snapshot strategy currently in force ("copy"/"pickle"/...)."""
+        return self._snapshot_name

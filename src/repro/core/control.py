@@ -27,6 +27,14 @@ The tuple is also observable at run time: with tracing enabled
 whose ``old``/``new`` fields are the configured input ``I`` before and
 after, and whose ``verdict`` names the branch of ``T`` that fired; the
 record cadence *is* ``P``.
+
+Verdict semantics for no-op invocations: a record is emitted at every
+invocation, *including* those that leave the configuration unchanged
+(dead zones, first samples, locked states).  The ``verdict`` reports
+which branch of ``T`` fired, never whether the configuration moved —
+a no-op invocation simply has ``old == new`` (and ``switched == false``
+where present).  The trace reader's summarizer therefore counts
+*invocations* (all records) and *moves* (``old != new``) separately.
 """
 
 from __future__ import annotations

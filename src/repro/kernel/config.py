@@ -25,6 +25,7 @@ from .state import SnapshotStrategy, resolve_snapshot_strategy
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a kernel <-> comm import cycle
     from ..comm.aggregation import AggregationPolicy
+    from ..control.meta import MetaController
     from ..core.window_controller import TimeWindowPolicy
     from ..faults.plan import FaultPlan
     from ..oracle.invariants import InvariantOracle
@@ -34,6 +35,7 @@ CancellationFactory = Callable[[SimulationObject], CancellationPolicy]
 CheckpointFactory = Callable[[SimulationObject], CheckpointPolicy]
 AggregationFactory = Callable[[int], "AggregationPolicy"]
 TimeWindowFactory = Callable[[], "TimeWindowPolicy"]
+MetaControlFactory = Callable[[], "MetaController"]
 
 
 def default_cancellation(_obj: SimulationObject) -> CancellationPolicy:
@@ -86,6 +88,12 @@ class SimulationConfig:
     #: bounded-time-window policy, e.g.
     #: ``lambda: AdaptiveTimeWindow()``.  ``None`` = pure Time Warp.
     time_window: TimeWindowFactory | None = None
+
+    #: optional unified control plane (docs/control.md): a factory for a
+    #: :class:`repro.control.MetaController` driving the meta-managed
+    #: global knobs (GVT period, snapshot strategy) at GVT rounds, e.g.
+    #: ``lambda: MetaController()``.  ``None`` = those knobs stay static.
+    meta_control: MetaControlFactory | None = None
 
     #: external runtime adjustments (paper reference [26]): a list of
     #: ``(wallclock_us, adjustment)`` pairs; see :mod:`repro.core.external`
@@ -142,6 +150,7 @@ class SimulationConfig:
             unsupported = [
                 ("faults", self.faults is not None),
                 ("time_window", self.time_window is not None),
+                ("meta_control", self.meta_control is not None),
                 ("external_script", bool(self.external_script)),
                 ("timeline", self.timeline is not None),
                 ("record_trace", self.record_trace),

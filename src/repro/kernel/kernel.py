@@ -105,6 +105,12 @@ class TimeWarpSimulation:
             gvt = OmniscientGVT(self.executive)
         self.executive.gvt_algorithm = gvt
 
+        # --- optional unified control plane (docs/control.md) -------------
+        self.meta = None
+        if self.config.meta_control is not None:
+            self.meta = self.config.meta_control()
+            self.meta.attach(self.executive, self.config.snapshot)
+
         # --- optional committed-event trace ------------------------------
         self.trace: list[tuple[float, str, str, float, Any]] | None = None
         if self.config.record_trace:

@@ -50,15 +50,28 @@ def cmd_summarize(args: argparse.Namespace) -> int:
             f"aggregates flushed: {summary.flushes} "
             f"({summary.flushed_events} events)"
         )
-    if summary.window_moves:
+    if summary.window_invocations:
         print(
-            f"optimism-window moves: {summary.window_moves}   "
+            f"optimism-window control: {summary.window_invocations} "
+            f"invocations, {summary.window_moves} moves   "
             f"final W: {_fmt_num(summary.final_window, 1)}"
+        )
+    if summary.gvt_ctrl_invocations:
+        print(
+            f"gvt-period control: {summary.gvt_ctrl_invocations} "
+            f"invocations, {summary.gvt_ctrl_moves} moves   "
+            f"final P: {_fmt_num(summary.final_gvt_period, 1)}"
+        )
+    if summary.snapshot_invocations:
+        print(
+            f"snapshot control: {summary.snapshot_invocations} "
+            f"invocations, {summary.snapshot_switches} switches   "
+            f"final strategy: {summary.final_snapshot}"
         )
     if summary.objects:
         header = (
-            f"\n{'object':<14} {'chi moves':>9} {'chi':>9} "
-            f"{'HR moves':>8} {'switches':>8} {'mode':>12} {'rollbacks':>9}"
+            f"\n{'object':<14} {'chi invoc':>9} {'chi moves':>9} {'chi':>9} "
+            f"{'HR invoc':>8} {'switches':>8} {'mode':>12} {'rollbacks':>9}"
         )
         print(header)
         print("-" * len(header))
@@ -70,8 +83,9 @@ def cmd_summarize(args: argparse.Namespace) -> int:
                 else "-"
             )
             print(
-                f"{traj.obj:<14} {traj.checkpoint_moves:>9} {chi:>9} "
-                f"{traj.cancellation_moves:>8} {traj.mode_switches:>8} "
+                f"{traj.obj:<14} {traj.checkpoint_invocations:>9} "
+                f"{traj.checkpoint_moves:>9} {chi:>9} "
+                f"{traj.cancellation_invocations:>8} {traj.mode_switches:>8} "
                 f"{traj.final_mode or '-':>12} {traj.rollbacks:>9}"
             )
     return 0

@@ -126,13 +126,20 @@ def validate_trace(path: str | Path) -> list[str]:
 # ---------------------------------------------------------------------- #
 @dataclass
 class ObjectTrajectory:
-    """What one simulation object's controllers did over a run."""
+    """What one simulation object's controllers did over a run.
+
+    *Invocations* count every ``ctrl.*`` record (the cadence is the
+    controller's period ``P``, no-ops included); *moves* count only the
+    invocations whose ``old != new`` — the distinction
+    ``docs/observability.md`` documents under "verdict semantics".
+    """
 
     obj: str
+    checkpoint_invocations: int = 0
     checkpoint_moves: int = 0
     chi_first: int | None = None
     chi_last: int | None = None
-    cancellation_moves: int = 0
+    cancellation_invocations: int = 0
     mode_switches: int = 0
     final_mode: str | None = None
     rollbacks: int = 0
@@ -148,8 +155,15 @@ class TraceSummary:
     objects: dict[str, ObjectTrajectory] = field(default_factory=dict)
     gvt_rounds: int = 0
     final_gvt: float = 0.0
+    window_invocations: int = 0
     window_moves: int = 0
     final_window: float | None = None
+    gvt_ctrl_invocations: int = 0
+    gvt_ctrl_moves: int = 0
+    final_gvt_period: float | None = None
+    snapshot_invocations: int = 0
+    snapshot_switches: int = 0
+    final_snapshot: str | None = None
     flushes: int = 0
     flushed_events: int = 0
 
@@ -169,13 +183,15 @@ def summarize(records: Iterable[dict]) -> TraceSummary:
         summary.by_type[rtype] += 1
         if rtype == "ctrl.checkpoint":
             traj = summary.trajectory(record["obj"])
-            traj.checkpoint_moves += 1
+            traj.checkpoint_invocations += 1
+            if record["old"] != record["new"]:
+                traj.checkpoint_moves += 1
             if traj.chi_first is None:
                 traj.chi_first = record["old"]
             traj.chi_last = record["new"]
         elif rtype == "ctrl.cancellation":
             traj = summary.trajectory(record["obj"])
-            traj.cancellation_moves += 1
+            traj.cancellation_invocations += 1
             if record["switched"]:
                 traj.mode_switches += 1
             traj.final_mode = record["new"]
@@ -188,8 +204,20 @@ def summarize(records: Iterable[dict]) -> TraceSummary:
             if record["advanced"]:
                 summary.final_gvt = record["gvt"]
         elif rtype == "ctrl.window":
-            summary.window_moves += 1
+            summary.window_invocations += 1
+            if record["old"] != record["new"]:
+                summary.window_moves += 1
             summary.final_window = record["new"]
+        elif rtype == "ctrl.gvt":
+            summary.gvt_ctrl_invocations += 1
+            if record["old"] != record["new"]:
+                summary.gvt_ctrl_moves += 1
+            summary.final_gvt_period = record["new"]
+        elif rtype == "ctrl.snapshot":
+            summary.snapshot_invocations += 1
+            if record["old"] != record["new"]:
+                summary.snapshot_switches += 1
+            summary.final_snapshot = record["new"]
         elif rtype == "comm.flush":
             summary.flushes += 1
             summary.flushed_events += record["count"]

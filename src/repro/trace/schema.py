@@ -162,6 +162,39 @@ RECORD_TYPES: dict[str, RecordSpec] = {
                       "dead_zone", "static"),
         ),
         RecordSpec(
+            "ctrl.gvt",
+            "One meta-controller GVT-period invocation (<backlog, gvt "
+            "period, 50ms, T, every4Rounds>); global, fired from the "
+            "executive's meta loop (docs/control.md).",
+            _f(
+                ("o", "number",
+                 "sampled output O: uncommitted-history backlog per LP"),
+                ("old", "number", "GVT round period (us) before"),
+                ("new", "number",
+                 "period (us) after (clamped to [1e3, 1e6])"),
+                ("verdict", "str", "dead-zone verdict"),
+                ("executed", "int", "events executed so far, run total"),
+                ("committed", "int", "events committed so far, run total"),
+                ("gvt", "number", "the GVT estimate at the invocation"),
+            ),
+            verdicts=("backlog_high", "backlog_low", "dead_zone"),
+        ),
+        RecordSpec(
+            "ctrl.snapshot",
+            "One meta-controller snapshot-strategy invocation (<state "
+            "size, strategy, copy, hysteresis, every8Rounds>); global, "
+            "fired from the executive's meta loop (docs/control.md).",
+            _f(
+                ("o", "number",
+                 "sampled output O: mean live state size (modelled bytes)"),
+                ("old", "str", 'strategy before: "copy" | "pickle" | "deepcopy"'),
+                ("new", "str", "strategy after"),
+                ("verdict", "str", "hysteresis verdict"),
+                ("objects", "int", "simulation objects sampled"),
+            ),
+            verdicts=("state_large", "state_small", "dead_zone"),
+        ),
+        RecordSpec(
             "rollback",
             "One rollback at one simulation object: cause, depth and the "
             "coast-forward bill.",

@@ -58,6 +58,7 @@ def features_for(scenario: Scenario, result, raw: dict) -> set[str]:
         f"snapshot:{s.snapshot}",
         f"gvt:{s.gvt_algorithm}",
         f"window:{s.time_window}",
+        f"meta:{s.meta_control}",
         f"faults:{'on' if s.faults else 'off'}",
         f"speed:{'hetero' if s.lp_speed_factors else 'uniform'}",
     }

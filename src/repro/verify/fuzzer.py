@@ -33,6 +33,7 @@ from .scenario import (
     APP_SPECS,
     CANCELLATION_VARIANTS,
     GVT_VARIANTS,
+    METACONTROL_VARIANTS,
     SNAPSHOT_VARIANTS,
     TIME_WINDOW_VARIANTS,
     Scenario,
@@ -182,6 +183,9 @@ def generate_scenario(
         )
         kwargs["time_window"] = _draw(
             rng, coverage, [(v, f"window:{v}") for v in TIME_WINDOW_VARIANTS]
+        )
+        kwargs["meta_control"] = _draw(
+            rng, coverage, [(v, f"meta:{v}") for v in METACONTROL_VARIANTS]
         )
         if rng.random() < 0.35:
             drop, dup, delay, reorder = (

@@ -18,7 +18,9 @@ The knob fields mirror the paper's configuration space:
   ``aggregation_window`` as the initial window;
 * ``snapshot`` — ``copy`` / ``pickle`` / ``deepcopy``;
 * ``gvt_algorithm`` — ``omniscient`` / ``mattern``;
-* ``time_window`` — ``none`` / ``adaptive``.
+* ``time_window`` — ``none`` / ``adaptive``;
+* ``meta_control`` — ``off`` / ``on``: the unified MetaController over
+  the meta-managed global knobs (docs/control.md).
 
 All of these are **modelled-only** with respect to the committed result:
 whatever the knobs, a run must commit exactly the events the sequential
@@ -61,6 +63,7 @@ AGGREGATION_VARIANTS = ("none", "fixed", "saaw")
 SNAPSHOT_VARIANTS = ("copy", "pickle", "deepcopy")
 GVT_VARIANTS = ("omniscient", "mattern")
 TIME_WINDOW_VARIANTS = ("none", "adaptive")
+METACONTROL_VARIANTS = ("off", "on")
 BACKENDS = ("modelled", "conservative", "parallel")
 
 
@@ -212,6 +215,10 @@ class Scenario:
     gvt_algorithm: str = "omniscient"
     gvt_period: float = 50_000.0
     time_window: str = "none"
+    #: "off" | "on": put the meta-managed global knobs (GVT period,
+    #: snapshot strategy) under the unified MetaController loop
+    #: (docs/control.md); modelled backend only
+    meta_control: str = "off"
 
     #: modelled per-LP slowdown factors, keyed by LP id (JSON: str keys)
     lp_speed_factors: dict = field(default_factory=dict)
@@ -270,6 +277,11 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown time_window {self.time_window!r}"
             )
+        if self.meta_control not in METACONTROL_VARIANTS:
+            raise ConfigurationError(
+                f"unknown meta_control {self.meta_control!r} "
+                f"(known: {METACONTROL_VARIANTS})"
+            )
         for lp_id, factor in self.lp_speed_factors.items():
             if int(lp_id) < 0 or float(factor) <= 0:
                 raise ConfigurationError(
@@ -284,7 +296,7 @@ class Scenario:
             defaults = Scenario()
             for name in (
                 "cancellation", "checkpoint", "aggregation", "snapshot",
-                "gvt_algorithm", "time_window",
+                "gvt_algorithm", "time_window", "meta_control",
             ):
                 if getattr(self, name) != getattr(defaults, name):
                     raise ConfigurationError(
@@ -318,6 +330,11 @@ class Scenario:
                 raise ConfigurationError(
                     "backend='parallel' always uses its own distributed "
                     "GVT coordinator; leave gvt_algorithm at the default"
+                )
+            if self.meta_control != "off":
+                raise ConfigurationError(
+                    "backend='parallel' does not support meta_control "
+                    "(docs/control.md)"
                 )
 
     # -- derived ------------------------------------------------------- #
@@ -368,6 +385,10 @@ class Scenario:
         )
         if self.time_window == "adaptive":
             kwargs["time_window"] = lambda: AdaptiveTimeWindow()
+        if self.meta_control == "on":
+            from ..control.meta import MetaController
+
+            kwargs["meta_control"] = lambda: MetaController()
         kwargs.update(extra)
         return SimulationConfig(**kwargs)
 

@@ -1,0 +1,81 @@
+"""The per-knob static-vs-dynamic ablation harness (repro-bench ablate)."""
+
+import json
+
+import pytest
+
+from repro.bench.ablate import (
+    ABLATE_APPS,
+    KNOB_APPS,
+    SCHEMA_ABLATE,
+    ablate_knob,
+    run_ablate,
+    write_ablate_document,
+)
+from repro.control.registry import KNOBS
+from repro.kernel.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    # one fast knob x app cell set; everything structural hangs off it
+    return ablate_knob("cancellation", "smmp", scale=0.01, replicates=1)
+
+
+class TestAblateStructure:
+    def test_every_knob_has_apps(self):
+        assert set(KNOB_APPS) == set(KNOBS)
+        for apps in KNOB_APPS.values():
+            assert apps and set(apps) <= set(ABLATE_APPS)
+
+    def test_static_cells_match_declared_values(self, tiny_sweep):
+        labels = [r.label for r in tiny_sweep.statics]
+        assert labels == [
+            label for label, _ in KNOBS["cancellation"].static_values
+        ]
+        assert tiny_sweep.dynamic.label == "dynamic"
+
+    def test_best_static_and_verdict(self, tiny_sweep):
+        best = tiny_sweep.best_static
+        assert best in tiny_sweep.statics
+        floor = best.committed_per_second * (1 - tiny_sweep.tolerance)
+        assert tiny_sweep.ok == (
+            tiny_sweep.dynamic.committed_per_second >= floor
+        )
+
+    def test_render_mentions_verdict(self, tiny_sweep):
+        text = tiny_sweep.render()
+        assert "cancellation x smmp" in text
+        assert ("PASS" in text) or ("FAIL" in text)
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_ablate(("nope",))
+
+    def test_app_filter_respects_knob_apps(self):
+        # time_window is PHOLD-only: asking for it on smmp yields nothing
+        assert run_ablate(("time_window",), ("smmp",), scale=0.01,
+                          replicates=1) == []
+
+
+class TestAblateDocument:
+    def test_json_document_round_trip(self, tiny_sweep, tmp_path):
+        path = write_ablate_document(
+            [tiny_sweep], tmp_path / "ablate.json", scale=0.01, replicates=1
+        )
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["schema"] == SCHEMA_ABLATE
+        assert doc["ok"] == tiny_sweep.ok
+        (entry,) = doc["results"]
+        assert entry["knob"] == "cancellation"
+        assert entry["app"] == "smmp"
+        assert entry["best_static"] == tiny_sweep.best_static.label
+        assert len(entry["statics"]) == len(tiny_sweep.statics)
+        for cell in [*entry["statics"], entry["dynamic"]]:
+            assert cell["committed_per_second"] > 0
+
+    def test_meta_knob_sweep_runs(self):
+        # a meta-managed knob goes through the MetaController path
+        result = ablate_knob("gvt_period", "smmp", scale=0.01, replicates=1)
+        assert result.dynamic.committed_per_second > 0
+        assert len(result.statics) == len(KNOBS["gvt_period"].static_values)

@@ -8,6 +8,7 @@ from repro import (
     AdaptiveTimeWindow,
     DynamicCancellation,
     DynamicCheckpoint,
+    MetaController,
     NetworkModel,
     SAAWPolicy,
     SimulationConfig,
@@ -27,13 +28,14 @@ from repro.trace.cli import main as trace_cli
 
 
 def traced_run(path):
-    """One small RAID run with all four controllers live, traced to path."""
+    """One small RAID run with every controller live, traced to path."""
     with Tracer.to_path(path) as tracer:
         config = SimulationConfig(
             checkpoint=lambda obj: DynamicCheckpoint(period=16),
             cancellation=lambda obj: DynamicCancellation(period=8),
             aggregation=lambda lp: SAAWPolicy(initial_window_us=300.0),
             time_window=lambda: AdaptiveTimeWindow(min_window=50.0),
+            meta_control=lambda: MetaController(),
             lp_speed_factors={1: 1.1, 2: 1.2, 3: 1.3},
             network=NetworkModel(jitter=0.4, seed=0),
             gvt_period=25_000.0,
