@@ -159,6 +159,12 @@ def run_parallel(args: argparse.Namespace) -> int:
         argv += ["--app", app]
     if args.trace_dir:
         argv += ["--trace-dir", args.trace_dir]
+    if args.churn:
+        argv += ["--churn", args.churn]
+    if args.elastic_smoke:
+        argv += ["--elastic-smoke"]
+    if args.gvt_period is not None:
+        argv += ["--gvt-period", str(args.gvt_period)]
     return validate_main(argv)
 
 
@@ -325,6 +331,14 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
                           help="per-run stall timeout in seconds")
     parallel.add_argument("--trace-dir", metavar="DIR",
                           help="write per-shard JSONL traces into DIR")
+    parallel.add_argument("--churn", metavar="JSON",
+                          help="elasticity plan as inline JSON "
+                               "(docs/parallel.md)")
+    parallel.add_argument("--elastic-smoke", action="store_true",
+                          help="canned elasticity check: one scripted "
+                               "migration plus one worker leave")
+    parallel.add_argument("--gvt-period", type=float, default=None,
+                          help="wall-clock GVT period in microseconds")
     parallel.set_defaults(runner=run_parallel)
     ablate = subparsers.add_parser(
         "ablate",

@@ -67,18 +67,26 @@ def make_document(
     benchmarks: dict[str, Any] = {}
     for name, (bench, measurement) in results.items():
         timing = measurement.timing
+        # the worker *timeline* is provenance, not a perf counter: lift it
+        # out so elastic runs (worker join/leave mid-run) are compared by
+        # trajectory instead of a single misleading worker count
+        counters = dict(measurement.counters)
+        timeline = counters.pop("worker_timeline", None)
+        if not timeline:
+            timeline = [[0, bench.workers]]
         benchmarks[name] = {
             "kind": bench.kind,
             "unit": bench.unit,
             "backend": bench.backend,
             "workers": bench.workers,
+            "worker_timeline": [[int(at), int(n)] for at, n in timeline],
             "ops": measurement.ops,
             "rate_per_s": round(measurement.rate_per_s, 3),
             "wall_min_s": timing.min_s,
             "wall_median_s": timing.median_s,
             "wall_mean_s": timing.mean_s,
             "wall_stddev_s": timing.stddev_s,
-            "counters": measurement.counters,
+            "counters": counters,
         }
     return {
         "schema_version": SCHEMA_VERSION,
@@ -235,6 +243,20 @@ class ComparisonReport:
         return "\n".join(rows)
 
 
+def _worker_timeline(entry: dict[str, Any]) -> tuple[tuple[int, int], ...]:
+    """``((commit_index, workers), ...)`` provenance, defaulting flat."""
+    timeline = entry.get("worker_timeline")
+    if timeline:
+        return tuple((int(at), int(n)) for at, n in timeline)
+    return ((0, int(entry.get("workers", 1))),)
+
+
+def _render_cfg(backend: str, timeline: tuple[tuple[int, int], ...]) -> str:
+    if len(timeline) == 1:
+        return f"{backend}/{timeline[0][1]}w"
+    return backend + "/" + "->".join(f"{n}w@{at}" for at, n in timeline)
+
+
 def compare_documents(
     base: dict[str, Any],
     current: dict[str, Any],
@@ -255,20 +277,22 @@ def compare_documents(
             report.only_in_base.append(name)
             report.incomparable.append((name, "only in baseline"))
             continue
-        # Entries measured on different backends or worker counts are
-        # different experiments — skip them rather than report a bogus
-        # regression or drift.  .get() defaults cover pre-provenance
-        # documents (entries written before backend/workers were emitted).
+        # Entries measured on different backends or worker trajectories
+        # are different experiments — skip them rather than report a bogus
+        # regression or drift.  Comparing the *timeline* rather than a
+        # single worker count means two elastic runs with the same churn
+        # trajectory stay comparable.  .get() defaults cover
+        # pre-provenance documents (entries written before
+        # backend/workers/worker_timeline were emitted).
         base_cfg = (base_entry.get("backend", "modelled"),
-                    base_entry.get("workers", 1))
+                    _worker_timeline(base_entry))
         current_cfg = (current_entry.get("backend", "modelled"),
-                       current_entry.get("workers", 1))
+                       _worker_timeline(current_entry))
         if base_cfg != current_cfg:
             report.incomparable.append((
                 name,
                 f"backend/workers changed: "
-                f"{base_cfg[0]}/{base_cfg[1]}w -> "
-                f"{current_cfg[0]}/{current_cfg[1]}w",
+                f"{_render_cfg(*base_cfg)} -> {_render_cfg(*current_cfg)}",
             ))
             continue
         drift = {

@@ -485,6 +485,10 @@ def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
             "committed_events": stats.committed_events,
             "matches_sequential": True,
             "workers": workers,
+            # (commit_index, active_workers) steps; report.make_document
+            # lifts this into entry provenance so elastic runs compare by
+            # trajectory, not a single misleading worker count
+            "worker_timeline": [list(step) for step in sim.worker_timeline],
         }
 
     return run

@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING
 from ..comm.message import MessageKind, PhysicalMessage
 from ..comm.network import Network
 from ..gvt.manager import GVTAlgorithm
-from ..kernel.errors import TerminationError
+from ..kernel.errors import SchedulingError, TerminationError
 from ..kernel.lp import LogicalProcess
+from ..kernel.migration import detach_object, restore_object
 from ..oracle.invariants import NULL_ORACLE
 from ..trace.tracer import NULL_TRACER
 
@@ -81,6 +82,12 @@ class Executive:
         #: optional :class:`repro.control.MetaController`; set by the
         #: kernel when ``config.meta_control`` is given
         self.meta = None
+        #: the oid -> LP routing map, set by the kernel.  It is the SAME
+        #: dict every CommModule and LP resolver holds, so mutating it in
+        #: place retargets all future sends at once (live migration)
+        self.routing: dict[int, int] | None = None
+        #: objects moved between LPs by :meth:`migrate_object`
+        self.migrations = 0
         self.wallclock = 0.0
         self.terminated = False
         #: structured observability tracer (repro.trace); set by the kernel
@@ -206,6 +213,43 @@ class Executive:
     @property
     def gvt(self) -> float:
         return self.gvt_algorithm.gvt if self.gvt_algorithm else 0.0
+
+    # ------------------------------------------------------------------ #
+    # live migration (docs/control.md, the placement knob)
+    # ------------------------------------------------------------------ #
+    def migrate_object(self, oid: int, dst_lp: int) -> None:
+        """Move one object between modelled LPs, mid-run.
+
+        The object's full Time Warp context travels as a canonical
+        checkpoint (:mod:`repro.kernel.migration`), the shared routing
+        map is rewritten in place so every subsequent send targets the
+        new host, and deliveries already in flight toward the old host
+        are rescued by the LP's ``forward`` hook.
+        """
+        if self.routing is None:
+            raise SchedulingError(
+                "executive has no routing map; migration is only "
+                "available through TimeWarpSimulation"
+            )
+        src_lp = self.routing[oid]
+        if src_lp == dst_lp:
+            return
+        if not 0 <= dst_lp < len(self.lps):
+            raise SchedulingError(f"no LP {dst_lp} to migrate object {oid} to")
+        source = self.lps[src_lp]
+        target = self.lps[dst_lp]
+        checkpoint = detach_object(source, oid)
+        self.routing[oid] = dst_lp
+        restore_object(target, checkpoint)
+        self.migrations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lp.migrate", self.wallclock,
+                oid=oid, src_lp=src_lp, dst_lp=dst_lp,
+            )
+        # the moved events are new work for the target host
+        if target.has_work():
+            self._schedule_turn(target, target.clock)
 
     # ------------------------------------------------------------------ #
     # main loop

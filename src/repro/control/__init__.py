@@ -14,6 +14,7 @@ from .meta import (
     META_KNOBS,
     GvtPeriodController,
     MetaController,
+    PlacementController,
     SnapshotController,
 )
 from .registry import (
@@ -31,6 +32,7 @@ __all__ = [
     "GvtPeriodController",
     "KnobSpec",
     "MetaController",
+    "PlacementController",
     "SnapshotController",
     "dynamic_config_kwargs",
     "get_knob",

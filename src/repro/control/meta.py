@@ -114,9 +114,78 @@ class SnapshotController:
         return new
 
 
+@dataclass
+class PlacementController:
+    """On-line object placement: migrate load off the hottest LP.
+
+    ``O`` is the per-LP *cost-weighted committed-event* imbalance over
+    the last control window: each LP's window of committed events times
+    its speed factor (a slow workstation pays more wall time per event),
+    the hottest such load divided by the mean.  Committed — not executed
+    — counts, because rollback re-execution inflates the fast,
+    far-ahead LPs' executed totals and inverts the signal; committed
+    progress is model-determined and steady, so the loop converges to a
+    speed-proportional placement and then holds.  Above ``imbalance``,
+    the
+    controller asks :func:`repro.partition.rebalance.choose_moves` for
+    the migration that best lowers the peak load and applies it through
+    :meth:`Executive.migrate_object` — a real live migration of the
+    object's full Time Warp context, not a bookkeeping relabel.  The
+    move selection is shared verbatim with the parallel backend's
+    coordinator balancer (with all-equal factors there), so both
+    backends flap (or refuse to) the same way.
+    """
+
+    #: control period P, in advancing GVT rounds
+    period: int = 8
+    #: hottest-LP load over mean load above which a move is proposed
+    imbalance: float = 1.25
+    #: migrations applied per invocation
+    max_moves: int = 1
+    last_verdict: str = ""
+    #: (imbalance, moves) per invocation
+    history: list = field(default_factory=list)
+    #: per-object executed counts at the previous invocation (the
+    #: controller balances *recent* load, not lifetime totals)
+    _last_counts: dict = field(default_factory=dict, repr=False)
+
+    def control(
+        self,
+        loads: dict[int, dict[int, int]],
+        factors: dict[int, float] | None = None,
+    ) -> tuple[tuple[int, int, int], ...]:
+        """One transfer-function evaluation: load sample -> moves."""
+        factor = {lp_id: (factors or {}).get(lp_id, 1.0) for lp_id in loads}
+        window: dict[int, dict[int, int]] = {}
+        for lp_id, per in loads.items():
+            window[lp_id] = {
+                oid: count - self._last_counts.get(oid, 0)
+                for oid, count in per.items()
+            }
+            for oid, count in per.items():
+                self._last_counts[oid] = count
+        totals = {
+            lp_id: factor[lp_id] * sum(per.values())
+            for lp_id, per in window.items()
+        }
+        mean = sum(totals.values()) / max(1, len(totals))
+        observed = max(totals.values(), default=0) / mean if mean > 0 else 0.0
+        from ..partition.rebalance import choose_moves
+
+        moves = choose_moves(
+            window,
+            threshold=self.imbalance,
+            factors=factor,
+            max_moves=self.max_moves,
+        )
+        self.last_verdict = "migrate" if moves else "hold"
+        self.history.append((observed, moves))
+        return moves
+
+
 #: the knobs a MetaController can own (the per-object/per-LP knobs are
 #: driven by their in-kernel loops; see repro.control.registry)
-META_KNOBS = ("gvt_period", "snapshot")
+META_KNOBS = ("gvt_period", "snapshot", "placement")
 
 
 class MetaController:
@@ -139,6 +208,7 @@ class MetaController:
         *,
         gvt_period: GvtPeriodController | None = None,
         snapshot: SnapshotController | None = None,
+        placement: PlacementController | None = None,
     ) -> None:
         unknown = set(knobs) - set(META_KNOBS)
         if unknown:
@@ -149,6 +219,7 @@ class MetaController:
         self.knobs = tuple(knobs)
         self.gvt_period = gvt_period or GvtPeriodController()
         self.snapshot = snapshot or SnapshotController()
+        self.placement = placement or PlacementController()
         self._rounds = 0
         self._snapshot_name = "copy"
         self._attached = False
@@ -178,6 +249,9 @@ class MetaController:
             invoked = True
         if "snapshot" in self.knobs and self._rounds % self.snapshot.period == 0:
             self._control_snapshot(executive)
+            invoked = True
+        if "placement" in self.knobs and self._rounds % self.placement.period == 0:
+            self._control_placement(executive)
             invoked = True
         if invoked:
             # feedback competes for the CPU it tunes, like window control
@@ -241,6 +315,38 @@ class MetaController:
                 new=new,
                 verdict=self.snapshot.last_verdict,
                 objects=objects,
+            )
+
+    def _control_placement(self, executive: "Executive") -> None:
+        if executive.routing is None:
+            return  # a bare executive (unit tests) has nothing to move
+        loads = {
+            lp.lp_id: {
+                oid: ctx.stats.events_committed
+                for oid, ctx in lp.members.items()
+            }
+            for lp in executive.lps
+        }
+        factors = {
+            lp.lp_id: executive.config.lp_speed_factors.get(lp.lp_id, 1.0)
+            for lp in executive.lps
+        }
+        moves = self.placement.control(loads, factors)
+        for oid, _src, dst in moves:
+            executive.migrate_object(oid, dst)
+        observed, _ = self.placement.history[-1]
+        self.history.append(
+            (self._rounds, "placement", (), moves, self.placement.last_verdict)
+        )
+        tracer = executive.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "ctrl.placement", executive.wallclock,
+                o=observed,
+                old=",".join(f"{oid}@{src}" for oid, src, _ in moves),
+                new=",".join(f"{oid}@{dst}" for oid, _, dst in moves),
+                verdict=self.placement.last_verdict,
+                moves=len(moves),
             )
 
     # ------------------------------------------------------------------ #

@@ -105,6 +105,13 @@ def _check_snapshot(value: Any) -> None:
         )
 
 
+def _check_placement(value: Any) -> None:
+    if value not in ("static", "dynamic"):
+        raise ConfigurationError(
+            f"placement must be 'static' or 'dynamic', got {value!r}"
+        )
+
+
 # --------------------------------------------------------------------- #
 # the six knobs
 # --------------------------------------------------------------------- #
@@ -263,6 +270,33 @@ register(KnobSpec(
         "small flat states, 'pickle' for large container-heavy ones "
         "(docs/benchmarking.md); the meta-controller switches on the "
         "observed mean state size.",
+))
+
+register(KnobSpec(
+    name="placement",
+    title="Object placement",
+    parameter="object -> host placement",
+    target="global",
+    domain="static | dynamic (live migration)",
+    sampled_output="cost-weighted per-host committed-event imbalance "
+                   "over the control window",
+    initial="the configured partition (static)",
+    transfer="imbalance > 1.25x mean -> migrate the object that most "
+             "lowers the peak",
+    period="every 8 advancing GVT rounds",
+    constraint="moves never empty a host; chosen move must strictly "
+               "lower the peak",
+    record_type="ctrl.placement",
+    config_field="placement",
+    meta_managed=True,
+    static_values=(("static", "static"),),
+    check=_check_placement,
+    make_static=lambda value: str(value),
+    doc="Where each object runs is itself a knob: the meta-controller's "
+        "placement loop live-migrates the full Time Warp context of hot "
+        "objects between modelled LPs, and the parallel backend's "
+        "coordinator balancer does the same between worker processes "
+        "through checkpoint handoff (docs/parallel.md).",
 ))
 
 

@@ -55,6 +55,55 @@ def default_aggregation(_lp_id: int) -> "AggregationPolicy":
     return NoAggregation()
 
 
+_CHURN_KINDS = ("migrate", "join", "leave")
+
+
+def validate_churn_plan(plan: dict) -> None:
+    """Structurally validate a churn plan (see :attr:`SimulationConfig.churn`).
+
+    Raises :class:`ConfigurationError` on malformed plans; semantic
+    impossibilities (e.g. a ``leave`` when one worker remains) are legal
+    here and skipped at run time.
+    """
+    if not isinstance(plan, dict):
+        raise ConfigurationError("churn must be a dict")
+    unknown = set(plan) - {"seed", "steps"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown churn key(s): {sorted(unknown)}"
+        )
+    seed = plan.get("seed", 0)
+    if not isinstance(seed, int):
+        raise ConfigurationError("churn seed must be an int")
+    steps = plan.get("steps", [])
+    if not isinstance(steps, (list, tuple)):
+        raise ConfigurationError("churn steps must be a list")
+    for i, step in enumerate(steps):
+        if not isinstance(step, dict):
+            raise ConfigurationError(f"churn step {i} must be a dict")
+        extra = set(step) - {"at", "kind", "count"}
+        if extra:
+            raise ConfigurationError(
+                f"churn step {i}: unknown key(s) {sorted(extra)}"
+            )
+        at = step.get("at")
+        if not isinstance(at, int) or at < 1:
+            raise ConfigurationError(
+                f"churn step {i}: 'at' must be a GVT-commit index >= 1"
+            )
+        kind = step.get("kind")
+        if kind not in _CHURN_KINDS:
+            raise ConfigurationError(
+                f"churn step {i}: unknown kind {kind!r} "
+                f"(known: {', '.join(_CHURN_KINDS)})"
+            )
+        count = step.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise ConfigurationError(
+                f"churn step {i}: 'count' must be an int >= 1"
+            )
+
+
 @dataclass
 class SimulationConfig:
     """Everything that parameterizes one Time Warp run."""
@@ -139,6 +188,20 @@ class SimulationConfig:
     #: default) costs one attribute check per potential hook.
     oracle: "InvariantOracle | None" = None
 
+    #: object placement over LPs/workers: "static" pins the initial
+    #: partition for the whole run; "dynamic" puts placement under
+    #: on-line control — the MetaController's PlacementController on the
+    #: modelled backend, the coordinator-side load balancer (live LP
+    #: migration) on the parallel backend (docs/control.md, the
+    #: ``placement`` knob).
+    placement: str = "static"
+
+    #: optional scripted churn plan for the parallel backend: seeded
+    #: migration / worker-join / worker-leave steps executed at GVT
+    #: commits, e.g. ``{"seed": 7, "steps": [{"at": 1, "kind": "migrate",
+    #: "count": 2}, {"at": 2, "kind": "leave"}]}`` (docs/parallel.md).
+    churn: "dict | None" = None
+
     def validate(self) -> None:
         if self.backend not in ("modelled", "parallel"):
             raise ConfigurationError(f"unknown backend {self.backend!r}")
@@ -178,6 +241,19 @@ class SimulationConfig:
                 )
         if self.faults is not None:
             self.faults.validate()
+        if self.placement not in ("static", "dynamic"):
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r} "
+                "(known: 'static', 'dynamic')"
+            )
+        if self.churn is not None:
+            if self.backend != "parallel":
+                raise ConfigurationError(
+                    "churn plans script live migration and worker "
+                    "join/leave, which only the parallel backend executes "
+                    "(docs/parallel.md)"
+                )
+            validate_churn_plan(self.churn)
         resolve_snapshot_strategy(self.snapshot)  # raises on a bad spec
 
     def costs_for_lp(self, lp_id: int) -> CostModel:

@@ -98,6 +98,11 @@ class TimeWarpSimulation:
             )
             comm.set_routing(self._oid_to_lp)
             lp.comm = comm
+            # Live migration can leave a delivery in flight toward an
+            # object's old host; re-route it through the (shared, already
+            # rewritten) routing map instead of crashing the LP.
+            lp.forward = self._make_forward(lp)
+        self.executive.routing = self._oid_to_lp
         if self.config.gvt_algorithm == "mattern":
             gvt = MatternGVT(self.executive)
             self.executive.network.on_data_send = gvt.observe_send
@@ -109,6 +114,13 @@ class TimeWarpSimulation:
         self.meta = None
         if self.config.meta_control is not None:
             self.meta = self.config.meta_control()
+            self.meta.attach(self.executive, self.config.snapshot)
+        elif self.config.placement == "dynamic":
+            # placement="dynamic" without an explicit meta_control factory
+            # still means on-line placement: attach a placement-only loop
+            from ..control.meta import MetaController
+
+            self.meta = MetaController(knobs=("placement",))
             self.meta.attach(self.executive, self.config.snapshot)
 
         # --- optional committed-event trace ------------------------------
@@ -128,6 +140,14 @@ class TimeWarpSimulation:
             return self._name_to_oid[name]
         except KeyError:
             raise ConfigurationError(f"unknown simulation object {name!r}") from None
+
+    @staticmethod
+    def _make_forward(lp: LogicalProcess):
+        def forward(event: Event) -> None:
+            lp.stats.remote_events_sent += 1
+            lp.comm.enqueue(event)
+
+        return forward
 
     def _record_trace(self, event: Event) -> None:
         assert self.trace is not None

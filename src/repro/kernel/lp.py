@@ -123,6 +123,10 @@ class LogicalProcess:
         self.oracle = NULL_ORACLE
         #: optional committed-event trace recorder (tests / debugging)
         self.trace_sink: Callable[[Event], None] | None = None
+        #: rescue hook for events addressed to an object this LP no longer
+        #: hosts (live migration re-homes objects mid-run; stale aggregate
+        #: buffers and in-flight messages may still carry the old address)
+        self.forward: Callable[[Event], None] | None = None
         #: set by the executive so arrivals can wake an idle LP
         self.idle: bool = False
         #: how checkpoint saves and rollback restores copy state
@@ -209,6 +213,9 @@ class LogicalProcess:
     def deliver_event(self, event: Event) -> None:
         ctx = self.members.get(event.receiver)
         if ctx is None:
+            if self.forward is not None:
+                self.forward(event)
+                return
             raise SchedulingError(
                 f"event for object {event.receiver} delivered to LP {self.lp_id}"
             )

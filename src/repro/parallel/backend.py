@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import queue as queue_mod
+import random
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 from ..kernel.config import SimulationConfig
@@ -31,6 +34,7 @@ from ..kernel.kernel import Partition
 from ..kernel.simobject import SimulationObject
 from ..oracle.invariants import InvariantViolation
 from ..partition.graph import CommGraph, profile_model
+from ..partition.rebalance import choose_moves
 from ..partition.strategies import (
     greedy_growth,
     kernighan_lin,
@@ -39,7 +43,20 @@ from ..partition.strategies import (
 )
 from ..stats.counters import RunStats
 from .gvt import GvtCoordinator, RoundResult
-from .ipc import GvtCommit, ShardDone, ShardError, Stop
+from .ipc import (
+    DrainAck,
+    DrainProbe,
+    GvtCommit,
+    MigrateDone,
+    PauseEpoch,
+    Reconfigure,
+    Resume,
+    Retire,
+    ShardDone,
+    ShardError,
+    ShardRetired,
+    Stop,
+)
 from .worker import ShardPlan, worker_main
 
 #: wait between all-idle rounds while termination drains, seconds
@@ -100,6 +117,9 @@ class ParallelSimulation:
             raise ConfigurationError("partition must contain at least one object")
         self.workers = self.config.workers
         self.trace_dir = trace_dir
+        if trace_dir is not None:
+            # workers open shard-<n>.jsonl inside it before executing
+            Path(trace_dir).mkdir(parents=True, exist_ok=True)
         self.timeout_s = timeout_s
 
         # --- directory (same walk as TimeWarpSimulation) ----------------
@@ -154,6 +174,31 @@ class ParallelSimulation:
         #: set by :meth:`from_builder` when a strategy chose the sharding
         self.assignment: dict[str, int] | None = None
         self.partition_quality: dict | None = None
+
+        # --- elastic pool state (docs/parallel.md) -----------------------
+        churn = self.config.churn or {}
+        #: GVT-commit index -> scripted churn steps due at that commit
+        self._churn_steps: dict[int, list[dict]] = {}
+        for step in churn.get("steps", []):
+            self._churn_steps.setdefault(step["at"], []).append(step)
+        self._churn_rng = random.Random(churn.get("seed", 0))
+        self._join_budget = sum(
+            1
+            for steps in self._churn_steps.values()
+            for step in steps
+            if step["kind"] == "join"
+        )
+        self._epoch = 0
+        self._commits = 0
+        self._next_shard = self.workers
+        self._retired_payloads: dict[int, dict] = {}
+        #: (GVT-commit index, active worker count) — grows on join/leave;
+        #: BENCH provenance and compare_documents key off this timeline
+        self.worker_timeline: list[tuple[int, int]] = [(0, self.workers)]
+        self.migrations_in = 0
+        self.migrations_out = 0
+        self.churn_executed = 0
+        self.churn_skipped = 0
 
         # --- run results -------------------------------------------------
         self.stats: RunStats | None = None
@@ -215,43 +260,38 @@ class ParallelSimulation:
         ctx = multiprocessing.get_context("fork")
         started = time.perf_counter()
 
-        inboxes = [ctx.Queue() for _ in range(self.workers)]
-        report_queue = ctx.Queue()
-        processes = []
+        # Pre-provision one inbox per potential worker — the initial
+        # shards plus one per scripted join step.  The queues must exist
+        # before the first fork so every worker can already address
+        # workers that join later (mp queues cannot be shipped mid-run).
+        pool_size = self.workers + self._join_budget
+        self._ctx = ctx
+        self._inboxes = inboxes = [ctx.Queue() for _ in range(pool_size)]
+        self._report_queue = report_queue = ctx.Queue()
+        self._plan_extras: dict = {}
+        if self.config.placement == "dynamic":
+            self._plan_extras["report_loads"] = True
+        self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         for shard in range(self.workers):
-            plan = ShardPlan(
-                objects=[
-                    (oid, self._objects[oid])
-                    for oid, owner in self._oid_to_shard.items()
-                    if owner == shard
-                ],
-                name_to_oid=self._name_to_oid,
-                oid_to_shard=self._oid_to_shard,
-                config=self.config,
-                n_shards=self.workers,
-                trace_dir=self.trace_dir,
-            )
-            process = ctx.Process(
+            self._processes[shard] = ctx.Process(
                 target=worker_main,
-                args=(shard, plan, inboxes[shard], report_queue,
-                      dict(enumerate(inboxes))),
+                args=(shard, self._make_plan(shard), inboxes[shard],
+                      report_queue, dict(enumerate(inboxes))),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
-            processes.append(process)
-        for process in processes:
+        for process in self._processes.values():
             process.start()
 
         coordinator = GvtCoordinator(
-            inboxes, report_queue, timeout_s=self.timeout_s
+            inboxes, report_queue, timeout_s=self.timeout_s,
+            active=range(self.workers),
         )
         gvt_period_s = self.config.gvt_period / 1e6
         committed = 0.0
         committed_any = False
         try:
-            final_round = self._drive(
-                coordinator, inboxes, gvt_period_s,
-            )
+            final_round = self._drive(coordinator, gvt_period_s)
             committed, committed_any = final_round[1], final_round[2]
             last = final_round[0]
             stop = Stop(
@@ -259,18 +299,21 @@ class ParallelSimulation:
                 total_sent=last.total_sent,
                 total_received=last.total_received,
             )
-            for inbox in inboxes:
+            for inbox in coordinator.active_inboxes():
                 inbox.put(stop)
-            payloads = self._collect_done(report_queue)
+            payloads = self._collect_done(report_queue, coordinator)
         except Exception:
-            for process in processes:
+            for process in self._processes.values():
                 if process.is_alive():
                     process.terminate()
             raise
         finally:
-            for process in processes:
+            for process in self._processes.values():
                 process.join(timeout=10.0)
 
+        for steps in self._churn_steps.values():
+            self.churn_skipped += len(steps)  # run ended before their commit
+        payloads.update(self._retired_payloads)
         self.wall_s = time.perf_counter() - started
         self.gvt_rounds_run = coordinator.rounds_completed
         self.gvt_passes_run = coordinator.passes_total
@@ -278,11 +321,34 @@ class ParallelSimulation:
         self._global_checks(payloads)
         return self.stats
 
+    def _make_plan(
+        self, shard: int, *, extra: dict | None = None
+    ) -> ShardPlan:
+        """Build a ShardPlan from the parent's current placement map."""
+        extras = dict(self._plan_extras)
+        if extra:
+            extras.update(extra)
+        return ShardPlan(
+            objects=[
+                (oid, self._objects[oid])
+                for oid, owner in self._oid_to_shard.items()
+                if owner == shard
+            ],
+            name_to_oid=self._name_to_oid,
+            oid_to_shard=dict(self._oid_to_shard),
+            config=self.config,
+            n_shards=len(self._inboxes),
+            trace_dir=self.trace_dir,
+            extras=extras,
+        )
+
     # ------------------------------------------------------------------ #
-    def _drive(self, coordinator, inboxes, gvt_period_s):
+    def _drive(self, coordinator, gvt_period_s):
         """GVT rounds until a round proves quiescence.
 
         Returns ``(final RoundResult, committed gvt, committed_any)``.
+        Elastic epochs (scripted churn steps, dynamic-placement
+        rebalancing) run strictly between rounds, right after a commit.
         """
         committed = 0.0
         committed_any = False
@@ -292,9 +358,12 @@ class ParallelSimulation:
             if gvt != float("inf") and (not committed_any or gvt > committed):
                 committed = gvt
                 committed_any = True
+                self._commits += 1
                 commit = GvtCommit(result.round, gvt)
-                for inbox in inboxes:
+                for inbox in coordinator.active_inboxes():
                     inbox.put(commit)
+                if not result.all_quiet:
+                    self._maybe_reconfigure(coordinator, result)
             if result.all_quiet:
                 return result, committed, committed_any
             # Busy fleet: next round after the configured period.  Idle
@@ -302,15 +371,220 @@ class ParallelSimulation:
             # termination is detected promptly.
             time.sleep(gvt_period_s if result.any_active else QUIET_SLEEP_S)
 
-    def _collect_done(self, report_queue) -> dict[int, dict]:
-        payloads: dict[int, dict] = {}
+    # ------------------------------------------------------------------ #
+    # elastic epochs: pause -> drain -> move -> resume (docs/parallel.md)
+    # ------------------------------------------------------------------ #
+    def _maybe_reconfigure(self, coordinator, result: RoundResult) -> None:
+        for step in self._churn_steps.pop(self._commits, []):
+            self._run_churn_step(coordinator, step)
+        if self.config.placement == "dynamic":
+            self._balance(coordinator, result)
+
+    def _run_churn_step(self, coordinator, step: dict) -> None:
+        """Materialize one scripted churn step with the plan's RNG.
+
+        Impossible steps (a leave with one worker left, a join past the
+        pre-provisioned pool, a migrate with a single active worker) are
+        counted skipped, never errors: fuzzed plans must stay runnable.
+        """
+        rng = self._churn_rng
+        owners = self._oid_to_shard
+        active = sorted(coordinator.active)
+        kind = step["kind"]
+        if kind == "migrate":
+            if len(active) < 2:
+                self.churn_skipped += 1
+                return
+            moves = []
+            taken: set[int] = set()
+            for _ in range(step.get("count", 1)):
+                candidates = [oid for oid in sorted(owners) if oid not in taken]
+                if not candidates:
+                    break
+                oid = rng.choice(candidates)
+                taken.add(oid)
+                src = owners[oid]
+                moves.append(
+                    (oid, src, rng.choice([s for s in active if s != src]))
+                )
+            self._elastic_epoch(coordinator, tuple(moves), (), ())
+            self.churn_executed += 1
+        elif kind == "join":
+            if self._next_shard >= len(self._inboxes):
+                self.churn_skipped += 1
+                return
+            joiner = self._next_shard
+            self._next_shard += 1
+            count = step.get(
+                "count", max(1, len(owners) // (len(active) + 1))
+            )
+            pool = sorted(owners)
+            rng.shuffle(pool)
+            moves = tuple(
+                (oid, owners[oid], joiner) for oid in pool[:count]
+            )
+            self._elastic_epoch(coordinator, moves, (joiner,), ())
+            self.churn_executed += 1
+        else:  # leave
+            done = 0
+            for _ in range(step.get("count", 1)):
+                active = sorted(coordinator.active)
+                if len(active) < 2:
+                    break
+                leaver = rng.choice(active)
+                remaining = [s for s in active if s != leaver]
+                moves = tuple(
+                    (oid, leaver, rng.choice(remaining))
+                    for oid in sorted(owners)
+                    if owners[oid] == leaver
+                )
+                self._elastic_epoch(coordinator, moves, (), (leaver,))
+                done += 1
+            if done:
+                self.churn_executed += 1
+            else:
+                self.churn_skipped += 1
+
+    def _balance(self, coordinator, result: RoundResult) -> None:
+        """Dynamic placement: migrate load off the hottest worker."""
+        loads = {
+            report.shard: dict(report.loads)
+            for report in result.reports
+            if report.loads is not None and report.shard in coordinator.active
+        }
+        if len(loads) < 2:
+            return
+        moves = choose_moves(loads)
+        if moves:
+            self._elastic_epoch(coordinator, moves, (), ())
+
+    def _elastic_epoch(self, coordinator, moves, joiners, leavers) -> None:
+        """One reconfiguration epoch, strictly between GVT rounds.
+
+        Protocol (see repro/parallel/ipc.py): pause every active worker,
+        prove the wire empty with drain probes, fork joiners against a
+        pre-move routing snapshot, broadcast the placement delta, wait
+        for every checkpoint handoff, retire drained leavers, resume.
+        """
+        self._epoch += 1
+        epoch = self._epoch
         deadline = time.monotonic() + self.timeout_s
-        while len(payloads) < self.workers:
+        pause = PauseEpoch(epoch)
+        for inbox in coordinator.active_inboxes():
+            inbox.put(pause)
+        self._drain_barrier(coordinator, epoch, deadline)
+        for shard in joiners:
+            # The joiner's plan snapshots the routing map BEFORE this
+            # epoch's moves; the Reconfigure broadcast below (which the
+            # joiner also receives) applies the delta, so every address
+            # space converges on the same map.
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(shard, self._make_plan(shard, extra={"join_epoch": epoch}),
+                      self._inboxes[shard], self._report_queue,
+                      dict(enumerate(self._inboxes))),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            self._processes[shard] = process
+            process.start()
+            coordinator.add_worker(shard)
+        reconfigure = Reconfigure(epoch, tuple(moves), tuple(leavers))
+        for inbox in coordinator.active_inboxes():
+            inbox.put(reconfigure)
+        self._collect_elastic(
+            MigrateDone, lambda m: m.epoch == epoch,
+            set(coordinator.active), deadline,
+        )
+        for shard in leavers:
+            self._inboxes[shard].put(Retire(epoch))
+        for shard in leavers:
+            retired = self._collect_elastic(
+                ShardRetired, lambda m, s=shard: m.shard == s,
+                {shard}, deadline,
+            )[shard]
+            transport = retired.payload["transport"]
+            coordinator.retire_worker(
+                shard,
+                transport["messages_sent"],
+                transport["messages_received"],
+            )
+            self._retired_payloads[shard] = retired.payload
+            self._processes[shard].join(timeout=10.0)
+        resume = Resume(epoch)
+        for inbox in coordinator.active_inboxes():
+            inbox.put(resume)
+        for oid, _src, dst in moves:
+            self._oid_to_shard[oid] = dst
+        if joiners or leavers:
+            self.worker_timeline.append(
+                (self._commits, len(coordinator.active))
+            )
+
+    def _drain_barrier(self, coordinator, epoch: int, deadline: float) -> None:
+        """Probe the paused fleet until the wire is provably empty.
+
+        A probe succeeds when the retired-corrected lifetime totals
+        balance: every ack was snapshotted with an empty inbox, and a
+        send after a snapshot would need a receive after a snapshot,
+        which inductively needs an uncounted earlier send.
+        """
+        probe_no = 0
+        while True:
+            probe_no += 1
+            probe = DrainProbe(epoch, probe_no)
+            for inbox in coordinator.active_inboxes():
+                inbox.put(probe)
+            acks = self._collect_elastic(
+                DrainAck,
+                lambda m: (m.epoch, m.probe) == (epoch, probe_no),
+                set(coordinator.active), deadline,
+            )
+            sent = coordinator.retired_sent + sum(
+                ack.total_sent for ack in acks.values()
+            )
+            received = coordinator.retired_received + sum(
+                ack.total_received for ack in acks.values()
+            )
+            if sent == received:
+                return
+            time.sleep(QUIET_SLEEP_S)  # whites still in a pipe; reprobe
+
+    def _collect_elastic(self, kind, match, expected: set[int], deadline):
+        """Collect one matching ``kind`` record per expected shard."""
+        got: dict[int, object] = {}
+        while expected:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                missing = sorted(set(range(self.workers)) - set(payloads))
                 raise RuntimeError(
-                    f"shard(s) {missing} never sent their final report"
+                    f"elastic epoch stalled: no {kind.__name__} from "
+                    f"shard(s) {sorted(expected)} within {self.timeout_s:.0f}s"
+                )
+            try:
+                message = self._report_queue.get(timeout=min(remaining, 1.0))
+            except queue_mod.Empty:
+                continue
+            if isinstance(message, ShardError):
+                raise RuntimeError(
+                    f"shard {message.shard} crashed during elastic epoch:\n"
+                    f"{message.error}"
+                )
+            if isinstance(message, kind) and match(message):
+                got[message.shard] = message
+                expected.discard(message.shard)
+            # anything else (an ack from an abandoned probe) is dropped:
+            # the epoch protocol is lockstep per record kind
+        return got
+
+    def _collect_done(self, report_queue, coordinator) -> dict[int, dict]:
+        payloads: dict[int, dict] = {}
+        expected = set(coordinator.active)
+        deadline = time.monotonic() + self.timeout_s
+        while expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"shard(s) {sorted(expected)} never sent their final report"
                 )
             message = report_queue.get(timeout=remaining)
             if isinstance(message, ShardError):
@@ -320,6 +594,7 @@ class ParallelSimulation:
                 )
             if isinstance(message, ShardDone):
                 payloads[message.shard] = message.payload
+                expected.discard(message.shard)
             # stale ShardReports from the final round are dropped
         return payloads
 
@@ -359,8 +634,20 @@ class ParallelSimulation:
                 stats.lazy_misses += ostats.lazy_misses
             self.final_states.update(payload["final_states"])
             self.oracle_checks += payload["oracle_checks"]
+            migrations = payload.get("migrations", {})
+            self.migrations_in += migrations.get("in", 0)
+            self.migrations_out += migrations.get("out", 0)
             for violation in payload["violations"]:
                 self.violations.append((shard, violation))
+        if self.migrations_in != self.migrations_out:
+            self.violations.append(
+                (-1, InvariantViolation(
+                    "migration_conservation",
+                    stats.execution_time,
+                    f"checkpoints shipped vs restored diverge: "
+                    f"{self.migrations_out} out vs {self.migrations_in} in",
+                ))
+            )
         return stats
 
     def _global_checks(self, payloads: dict[int, dict]) -> None:

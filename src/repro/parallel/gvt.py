@@ -52,14 +52,20 @@ class RoundResult:
     #: every shard idle and silent this round: global quiescence
     all_quiet: bool
     reports: tuple[ShardReport, ...]
+    #: lifetime wire totals of workers retired before this round (their
+    #: messages are all delivered, but they no longer report)
+    retired_sent: int = 0
+    retired_received: int = 0
 
     @property
     def total_sent(self) -> int:
-        return sum(r.total_sent for r in self.reports)
+        return self.retired_sent + sum(r.total_sent for r in self.reports)
 
     @property
     def total_received(self) -> int:
-        return sum(r.total_received for r in self.reports)
+        return self.retired_received + sum(
+            r.total_received for r in self.reports
+        )
 
     @property
     def any_active(self) -> bool:
@@ -69,16 +75,55 @@ class RoundResult:
 class GvtCoordinator:
     """Drives Mattern rounds over the worker fleet from the parent."""
 
-    def __init__(self, inboxes, report_queue, *, timeout_s: float = 120.0) -> None:
+    def __init__(
+        self, inboxes, report_queue, *,
+        timeout_s: float = 120.0, active=None,
+    ) -> None:
         self._inboxes = list(inboxes)
         self._reports = report_queue
         self._timeout_s = timeout_s
         self._round = 0
         self.rounds_completed = 0
         self.passes_total = 0
+        #: shards currently participating in rounds; the elastic driver
+        #: grows it on join and shrinks it on retire
+        self.active: set[int] = (
+            set(range(len(self._inboxes))) if active is None else set(active)
+        )
+        #: lifetime wire totals of retired workers: their sends were all
+        #: received and their receipts all counted, but they no longer
+        #: report, so the white balance needs these correction terms
+        self.retired_sent = 0
+        self.retired_received = 0
+
+    # -- elastic membership -------------------------------------------- #
+    def add_worker(self, shard: int) -> None:
+        """A joiner (pre-provisioned inbox) starts taking rounds."""
+        if not 0 <= shard < len(self._inboxes):
+            raise WorkerFailedError(f"no pre-provisioned inbox for {shard}")
+        self.active.add(shard)
+
+    def retire_worker(
+        self, shard: int, total_sent: int, total_received: int
+    ) -> None:
+        """A drained leaver stops taking rounds; fold its lifetime wire
+        totals into the balance-correction terms."""
+        self.active.discard(shard)
+        self.retired_sent += total_sent
+        self.retired_received += total_received
+
+    def active_inboxes(self):
+        return [self._inboxes[shard] for shard in sorted(self.active)]
 
     def run_round(self) -> RoundResult:
-        """One full round: pass until the white counts balance."""
+        """One full round: pass until the white counts balance.
+
+        With retirements, round validity becomes
+        ``sum(white_sent) + retired_sent ==
+        sum(white_received) + retired_received`` over the active set:
+        retired workers' whites are final (the drain barrier proved their
+        wire empty at retirement) and enter as constants.
+        """
         self._round += 1
         deadline = time.monotonic() + self._timeout_s
         pass_no = 0
@@ -86,11 +131,15 @@ class GvtCoordinator:
             pass_no += 1
             self.passes_total += 1
             start = GvtStart(self._round, pass_no)
-            for inbox in self._inboxes:
+            for inbox in self.active_inboxes():
                 inbox.put(start)
             reports = self._collect(self._round, pass_no, deadline)
-            white_sent = sum(r.white_sent for r in reports)
-            white_received = sum(r.white_received for r in reports)
+            white_sent = self.retired_sent + sum(
+                r.white_sent for r in reports
+            )
+            white_received = self.retired_received + sum(
+                r.white_received for r in reports
+            )
             if white_sent == white_received:
                 self.rounds_completed += 1
                 gvt = min(min(r.local_min, r.red_min) for r in reports)
@@ -103,13 +152,15 @@ class GvtCoordinator:
                     gvt=gvt,
                     all_quiet=all_quiet,
                     reports=reports,
+                    retired_sent=self.retired_sent,
+                    retired_received=self.retired_received,
                 )
             time.sleep(PASS_SLEEP_S)  # whites still in a pipe; retry
 
     def _collect(
         self, round_number: int, pass_no: int, deadline: float
     ) -> tuple[ShardReport, ...]:
-        expected = {shard for shard in range(len(self._inboxes))}
+        expected = set(self.active)
         reports: dict[int, ShardReport] = {}
         while expected:
             remaining = deadline - time.monotonic()

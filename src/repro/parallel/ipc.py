@@ -95,6 +95,9 @@ class ShardReport:
     #: lifetime physical-message totals (for the Stop broadcast)
     total_sent: int
     total_received: int
+    #: optional per-object load sample ((oid, events_executed), ...);
+    #: populated only when the coordinator-side balancer asked for it
+    loads: tuple[tuple[int, int], ...] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,3 +115,107 @@ class ShardError:
 
     shard: int
     error: str
+
+
+# --------------------------------------------------------------------- #
+# elastic reconfiguration (docs/parallel.md, "Elastic worker pool")
+# --------------------------------------------------------------------- #
+# One elastic *epoch* runs strictly between GVT rounds:
+#   PauseEpoch -> DrainProbe/DrainAck (wire proven empty) ->
+#   Reconfigure -> MigrateBatch/MigrateDone -> Retire/ShardRetired ->
+#   Resume
+# Migration traffic bypasses the colour-stamped transport on purpose:
+# the wire is provably empty while it flows, so it must not perturb the
+# Mattern accounting.
+
+
+@dataclass(frozen=True, slots=True)
+class PauseEpoch:
+    """Coordinator opens elastic epoch ``epoch``: stop forward execution,
+    keep draining the inbox (deliveries may still roll back and emit
+    anti-messages), flush all aggregates and the outbox."""
+
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class DrainProbe:
+    """Coordinator asks for a drain snapshot: reply with a DrainAck once
+    the inbox is empty and every buffered message is flushed out."""
+
+    epoch: int
+    probe: int
+
+
+@dataclass(frozen=True, slots=True)
+class DrainAck:
+    """One paused worker's lifetime wire totals, snapshotted with an
+    empty inbox and empty outbox.  When the acks of every active worker
+    satisfy ``sum(total_sent) == sum(total_received)`` the wire is empty:
+    any send after a snapshot would require a receive after a snapshot,
+    which inductively requires an uncounted earlier send."""
+
+    shard: int
+    epoch: int
+    probe: int
+    total_sent: int
+    total_received: int
+
+
+@dataclass(frozen=True, slots=True)
+class Reconfigure:
+    """The epoch's placement delta, broadcast to every active worker
+    (joiners included).  Each worker applies ``moves`` to its local
+    routing map in place, ships checkpoints for the objects it loses,
+    and counts the objects it gains."""
+
+    epoch: int
+    #: ((oid, src_shard, dst_shard), ...)
+    moves: tuple[tuple[int, int, int], ...]
+    #: shards retiring at the end of this epoch
+    leavers: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateBatch:
+    """Canonical object checkpoints travelling src -> dst, outside the
+    colour-stamped transport (the wire is drained while these flow)."""
+
+    src_shard: int
+    epoch: int
+    #: serialized ObjectCheckpoint blobs (see repro.kernel.migration)
+    checkpoints: tuple[bytes, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateDone:
+    """A worker shipped all outgoing and restored all expected incoming
+    checkpoints for ``epoch``."""
+
+    shard: int
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class Resume:
+    """Coordinator closes the epoch: surviving workers resume forward
+    execution."""
+
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class Retire:
+    """Coordinator tells an emptied leaver to finalize and exit."""
+
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRetired:
+    """Terminal payload of a retired worker: same keys as ShardDone's,
+    plus its lifetime wire totals stay folded into the coordinator's
+    retired-correction terms."""
+
+    shard: int
+    payload: dict[str, Any] = field(default_factory=dict)

@@ -21,6 +21,7 @@ sequential golden.  Concretely, for an app from the shared
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections import Counter
@@ -73,6 +74,16 @@ class DifferentialResult:
     gvt_rounds: int
     wall_s: float
     error: str = ""
+    #: ``(commit_index, active_workers)`` steps; more than one entry means
+    #: the worker set changed mid-run (churn joins/leaves)
+    worker_timeline: tuple[tuple[int, int], ...] = ()
+    #: checkpoints restored across shard boundaries during the run
+    migrations: int = 0
+
+    @property
+    def elastic(self) -> bool:
+        """Whether the worker set changed or objects moved mid-run."""
+        return self.migrations > 0 or len(self.worker_timeline) > 1
 
     @property
     def ok(self) -> bool:
@@ -92,6 +103,14 @@ class DifferentialResult:
             f"{self.rollbacks} rollback(s), {self.gvt_rounds} GVT round(s), "
             f"{self.oracle_checks} oracle check(s), {self.wall_s:.2f}s wall"
         ]
+        if self.elastic:
+            timeline = " -> ".join(
+                f"{n}w@{at}" for at, n in self.worker_timeline
+            )
+            lines.append(
+                f"  elastic: {self.migrations} migration(s), "
+                f"workers {timeline}"
+            )
         if self.error:
             lines.append(f"  error: {self.error}")
         for name, got, want in self.count_mismatches:
@@ -110,8 +129,17 @@ def run_differential(
     strategy="kernighan_lin",
     timeout_s: float = 120.0,
     trace_dir: str | None = None,
+    churn: dict | None = None,
+    gvt_period: float | None = None,
 ) -> DifferentialResult:
-    """One differential run of ``app`` over ``workers`` shards."""
+    """One differential run of ``app`` over ``workers`` shards.
+
+    ``churn`` is a seeded elasticity plan (migrations and worker
+    join/leave keyed by GVT-commit index; see
+    :func:`repro.kernel.config.validate_churn_plan`) — the committed
+    result must match the golden regardless.  Churn plans usually want a
+    short ``gvt_period`` so enough commits happen for every step to fire.
+    """
     build, end_time = APPS[app]
     golden_counts, golden_states, expected = sequential_golden(app)
     config = SimulationConfig(
@@ -120,6 +148,8 @@ def run_differential(
         end_time=end_time,
         oracle=InvariantOracle(),
         max_executed_events=MAX_EXECUTED_EVENTS,
+        churn=churn,
+        **({} if gvt_period is None else {"gvt_period": gvt_period}),
     )
     started = time.perf_counter()
     error = ""
@@ -127,6 +157,8 @@ def run_differential(
     count_mismatches: list[tuple[str, int, int]] = []
     state_mismatches: list[str] = []
     violations: tuple[str, ...] = ()
+    worker_timeline: tuple[tuple[int, int], ...] = ((0, workers),)
+    migrations = 0
     try:
         sim = ParallelSimulation.from_builder(
             build, config, strategy=strategy,
@@ -140,6 +172,8 @@ def run_differential(
         violations = tuple(
             f"shard {shard}: {violation}" for shard, violation in sim.violations
         )
+        worker_timeline = tuple(sim.worker_timeline)
+        migrations = sim.migrations_in
         for name in sorted(golden_states):
             got = stats.per_object[name].events_committed
             want = golden_counts.get(name, 0)
@@ -162,6 +196,8 @@ def run_differential(
         gvt_rounds=gvt_rounds,
         wall_s=time.perf_counter() - started,
         error=error,
+        worker_timeline=worker_timeline,
+        migrations=migrations,
     )
 
 
@@ -185,13 +221,42 @@ def main(argv=None) -> int:
         "--trace-dir", default=None,
         help="write per-shard JSONL traces under this directory",
     )
+    parser.add_argument(
+        "--churn", default=None, metavar="JSON",
+        help="elasticity plan as inline JSON "
+             '(e.g. \'{"seed":7,"steps":[{"at":1,"kind":"migrate","count":2}]}\')',
+    )
+    parser.add_argument(
+        "--elastic-smoke", action="store_true",
+        help="canned elasticity check: one scripted migration plus one "
+             "worker leave, differential against the sequential golden",
+    )
+    parser.add_argument(
+        "--gvt-period", type=float, default=None,
+        help="wall-clock GVT period in microseconds (churn plans want a "
+             "short one so every step's commit index is reached)",
+    )
     args = parser.parse_args(argv)
     apps = args.app or sorted(APPS)
+    churn = json.loads(args.churn) if args.churn else None
+    gvt_period = args.gvt_period
+    if args.elastic_smoke:
+        if churn is not None:
+            parser.error("--elastic-smoke supplies its own churn plan")
+        churn = {
+            "seed": 7,
+            "steps": [
+                {"at": 1, "kind": "migrate", "count": 1},
+                {"at": 2, "kind": "leave", "count": 1},
+            ],
+        }
+        if gvt_period is None:
+            gvt_period = 5_000.0
     results = [
         run_differential(
             app, args.workers,
             strategy=args.strategy, timeout_s=args.timeout,
-            trace_dir=args.trace_dir,
+            trace_dir=args.trace_dir, churn=churn, gvt_period=gvt_period,
         )
         for app in apps
     ]

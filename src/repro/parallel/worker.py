@@ -34,13 +34,31 @@ from ..comm.message import MessageKind
 from ..comm.transport import CommModule
 from ..gvt.mattern import ColourAgent
 from ..kernel.config import SimulationConfig
-from ..kernel.errors import ConfigurationError, TerminationError
+from ..kernel.errors import ConfigurationError, SchedulingError, TerminationError
 from ..kernel.lp import LogicalProcess
+from ..kernel.migration import ObjectCheckpoint, detach_object, restore_object
 from ..kernel.simobject import SimulationObject
 from ..kernel.state import resolve_snapshot_strategy
 from ..oracle.invariants import NULL_ORACLE
 from ..trace.tracer import NULL_TRACER, Tracer
-from .ipc import DataBatch, GvtCommit, GvtStart, ShardDone, ShardError, ShardReport, Stop
+from .ipc import (
+    DataBatch,
+    DrainAck,
+    DrainProbe,
+    GvtCommit,
+    GvtStart,
+    MigrateBatch,
+    MigrateDone,
+    PauseEpoch,
+    Reconfigure,
+    Resume,
+    Retire,
+    ShardDone,
+    ShardError,
+    ShardReport,
+    ShardRetired,
+    Stop,
+)
 from .transport import ShardTransport
 
 #: events executed between inbox polls.  This is the arrival-latency /
@@ -136,6 +154,11 @@ class _ShardRuntime:
                 cancel_policy=config.cancellation(obj),
                 ckpt_policy=config.checkpoint(obj),
             )
+        # Live migration can leave stale addressing in flight (an aggregate
+        # buffered against the old owner, a message already in a pipe): the
+        # drain barrier is designed to make that impossible, but if one
+        # slips through, re-route it instead of crashing the shard.
+        lp.forward = self._forward_event
 
         self._slice = int(plan.extras.get("execute_slice", EXECUTE_SLICE))
         self._pending_gvt: GvtStart | None = None
@@ -144,12 +167,37 @@ class _ShardRuntime:
         self._gvt_commits = 0
         self._executed = 0
 
+        # -- elastic-epoch state (docs/parallel.md) ---------------------- #
+        #: joiners fork paused inside the epoch that created them
+        self._paused_epoch: int | None = plan.extras.get("join_epoch")
+        self._pending_probe: DrainProbe | None = None
+        self._reconfig: Reconfigure | None = None
+        self._expect_in = 0
+        self._got_in = 0
+        #: MigrateBatches that outran their Reconfigure (queue feeder
+        #: threads give no cross-producer ordering), keyed by epoch
+        self._early_batches: dict[int, list[MigrateBatch]] = {}
+        self._retired = False
+        self.migrations_in = 0
+        self.migrations_out = 0
+        self._report_loads = bool(plan.extras.get("report_loads"))
+
     # ------------------------------------------------------------------ #
     def _resolve(self, name: str) -> int:
         try:
             return self.plan.name_to_oid[name]
         except KeyError:
             raise ConfigurationError(f"unknown simulation object {name!r}") from None
+
+    def _forward_event(self, event) -> None:
+        """Re-route an event for an object this shard no longer hosts."""
+        dst = self.plan.oid_to_shard[event.receiver]
+        if dst == self.shard_id:  # pragma: no cover - defensive
+            raise SchedulingError(
+                f"object {event.receiver} routed to shard {dst} but not hosted"
+            )
+        self.lp.stats.remote_events_sent += 1
+        self.lp.comm.enqueue(event)
 
     def _schedule_flush(self, dst_lp: int, at: float, generation: int) -> None:
         heapq.heappush(self._flush_heap, (at, dst_lp, generation))
@@ -169,8 +217,16 @@ class _ShardRuntime:
         lp = self.lp
         lp.initialize()  # initial sends land in the DyMA buffers
         max_events = self.plan.config.max_executed_events
-        while self._stop is None:
+        while self._stop is None and not self._retired:
             handled = self._drain_inbox()
+            if self._stop is not None or self._retired:
+                break
+            if self._paused_epoch is not None:
+                # Elastic epoch: no forward execution, no on_idle (it
+                # expires comparison entries, which are checkpoint state);
+                # just drain, flush, and answer the coordinator.
+                self._elastic_tick(handled)
+                continue
             executed = 0
             while executed < self._slice and self._stop is None:
                 if not lp.execute_one():
@@ -190,7 +246,8 @@ class _ShardRuntime:
                 lp.on_idle()  # expire comparisons, drain aggregates
                 self._flush_outbox()
                 self._wait_one()
-        self._finish(self._stop)
+        if self._stop is not None:
+            self._finish(self._stop)
 
     # ------------------------------------------------------------------ #
     # inbox
@@ -234,8 +291,118 @@ class _ShardRuntime:
             self._on_commit(message)
         elif isinstance(message, Stop):
             self._stop = message
+        elif isinstance(message, PauseEpoch):
+            self._paused_epoch = message.epoch
+            self.lp.comm.flush_all()
+            self._flush_outbox()
+        elif isinstance(message, DrainProbe):
+            self._pending_probe = message
+        elif isinstance(message, Reconfigure):
+            self._apply_reconfigure(message)
+        elif isinstance(message, MigrateBatch):
+            if (
+                self._reconfig is not None
+                and message.epoch == self._reconfig.epoch
+            ):
+                self._restore_batch(message)
+                self._maybe_migrate_done()
+            else:
+                # outran its Reconfigure; stash until the move list arrives
+                self._early_batches.setdefault(
+                    message.epoch, []
+                ).append(message)
+        elif isinstance(message, Resume):
+            self._paused_epoch = None
+        elif isinstance(message, Retire):
+            self.tracer.close()
+            self.to_coordinator.put(
+                ShardRetired(self.shard_id, self._final_payload())
+            )
+            self._retired = True
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown IPC message: {message!r}")
+
+    # ------------------------------------------------------------------ #
+    # elastic epochs: pause -> drain -> move -> resume
+    # ------------------------------------------------------------------ #
+    def _elastic_tick(self, handled: int) -> None:
+        """One paused-loop iteration: keep the wire moving, answer probes."""
+        if handled:
+            # deliveries may have rolled objects back and queued
+            # anti-messages; push everything out before claiming quiet
+            self.lp.comm.flush_all()
+            self._flush_outbox()
+            return  # re-poll: more may already be behind what we handled
+        if self._pending_probe is not None:
+            # inbox empty and everything flushed: snapshot the totals
+            self.lp.comm.flush_all()
+            self._flush_outbox()
+            probe = self._pending_probe
+            self._pending_probe = None
+            self.to_coordinator.put(DrainAck(
+                shard=self.shard_id,
+                epoch=probe.epoch,
+                probe=probe.probe,
+                total_sent=self.transport.messages_sent,
+                total_received=self.transport.messages_received,
+            ))
+            return
+        self._wait_one()
+
+    def _apply_reconfigure(self, msg: Reconfigure) -> None:
+        # The routing delta mutates plan.oid_to_shard IN PLACE: that one
+        # dict object is simultaneously the CommModule routing table and
+        # the LP's lp_of resolver, so every send sees the new owner at
+        # the same instant.
+        routing = self.plan.oid_to_shard
+        outgoing: dict[int, list[int]] = {}
+        incoming = 0
+        for oid, src, dst in msg.moves:
+            routing[oid] = dst
+            if src == self.shard_id:
+                outgoing.setdefault(dst, []).append(oid)
+            if dst == self.shard_id:
+                incoming += 1
+        for dst in sorted(outgoing):
+            oids = outgoing[dst]
+            blobs = tuple(
+                detach_object(self.lp, oid).to_bytes() for oid in oids
+            )
+            self.migrations_out += len(oids)
+            # direct queue put, NOT the colour-stamped transport: the wire
+            # is provably empty, and migration must not skew Mattern counts
+            self.out_queues[dst].put(
+                MigrateBatch(self.shard_id, msg.epoch, blobs)
+            )
+        self._reconfig = msg
+        self._expect_in = incoming
+        self._got_in = 0
+        for batch in self._early_batches.pop(msg.epoch, []):
+            self._restore_batch(batch)
+        self._maybe_migrate_done()
+
+    def _restore_batch(self, batch: MigrateBatch) -> None:
+        for blob in batch.checkpoints:
+            checkpoint = ObjectCheckpoint.from_bytes(blob)
+            restore_object(self.lp, checkpoint)
+            self._got_in += 1
+            self.migrations_in += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "lp.migrate", self.lp.clock,
+                    oid=checkpoint.oid,
+                    src_lp=batch.src_shard,
+                    dst_lp=self.shard_id,
+                )
+
+    def _maybe_migrate_done(self) -> None:
+        if self._reconfig is None or self._got_in < self._expect_in:
+            return
+        epoch = self._reconfig.epoch
+        self._reconfig = None
+        self._expect_in = 0
+        self._got_in = 0
+        self.to_coordinator.put(MigrateDone(self.shard_id, epoch))
 
     # ------------------------------------------------------------------ #
     # GVT participation
@@ -255,6 +422,15 @@ class _ShardRuntime:
             or lp.comm.buffered_event_count() > 0
             or any(ctx.cmp_buffer.pending() for ctx in lp.members.values())
         )
+        loads = None
+        if self._report_loads:
+            # committed (not executed) counts: rollback re-execution
+            # inflates the far-ahead shards' executed totals and inverts
+            # the balance signal (see PlacementController)
+            loads = tuple(sorted(
+                (oid, ctx.stats.events_committed)
+                for oid, ctx in lp.members.items()
+            ))
         self.to_coordinator.put(
             ShardReport(
                 shard=self.shard_id,
@@ -268,6 +444,7 @@ class _ShardRuntime:
                 active=active,
                 total_sent=self.transport.messages_sent,
                 total_received=self.transport.messages_received,
+                loads=loads,
             )
         )
 
@@ -323,6 +500,10 @@ class _ShardRuntime:
             "oracle_checks": getattr(oracle, "checks", 0),
             "committed_gvt": self._committed_gvt,
             "gvt_commits": self._gvt_commits,
+            "migrations": {
+                "in": self.migrations_in,
+                "out": self.migrations_out,
+            },
             "transport": {
                 "messages_sent": transport.messages_sent,
                 "messages_received": transport.messages_received,

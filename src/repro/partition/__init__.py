@@ -7,6 +7,7 @@ materialize the partition (:func:`apply_assignment`).
 """
 
 from .graph import CommGraph, profile_model
+from .rebalance import choose_moves
 from .strategies import (
     apply_assignment,
     greedy_growth,
@@ -18,6 +19,7 @@ from .strategies import (
 __all__ = [
     "CommGraph",
     "apply_assignment",
+    "choose_moves",
     "greedy_growth",
     "kernighan_lin",
     "partition_quality",

@@ -195,6 +195,35 @@ RECORD_TYPES: dict[str, RecordSpec] = {
             verdicts=("state_large", "state_small", "dead_zone"),
         ),
         RecordSpec(
+            "ctrl.placement",
+            "One meta-controller placement invocation (<imbalance, "
+            "placement, static, gap-halving move, every8Rounds>); global, "
+            "fired from the executive's meta loop (docs/control.md).",
+            _f(
+                ("o", "number",
+                 "sampled output O: hottest-host load over mean host load"),
+                ("old", "str",
+                 'applied moves as "oid@src" pairs, comma-joined '
+                 '("" = no move)'),
+                ("new", "str",
+                 'the same moves as "oid@dst" pairs, comma-joined'),
+                ("verdict", "str", "move/hold verdict"),
+                ("moves", "int", "migrations applied by this invocation"),
+            ),
+            verdicts=("migrate", "hold"),
+        ),
+        RecordSpec(
+            "lp.migrate",
+            "One live object migration between hosts: the full Time Warp "
+            "context moved as a canonical checkpoint "
+            "(repro.kernel.migration).",
+            _f(
+                ("oid", "int", "global id of the migrated object"),
+                ("src_lp", "int", "host LP/shard the object left"),
+                ("dst_lp", "int", "host LP/shard the object joined"),
+            ),
+        ),
+        RecordSpec(
             "rollback",
             "One rollback at one simulation object: cause, depth and the "
             "coast-forward bill.",

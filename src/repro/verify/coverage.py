@@ -61,7 +61,10 @@ def features_for(scenario: Scenario, result, raw: dict) -> set[str]:
         f"meta:{s.meta_control}",
         f"faults:{'on' if s.faults else 'off'}",
         f"speed:{'hetero' if s.lp_speed_factors else 'uniform'}",
+        f"churn:{'on' if s.churn else 'off'}",
     }
+    if "migrations" in raw:
+        features.add(f"migrations:{bucket(raw['migrations'])}")
     stats = raw.get("stats")
     if stats is not None:
         features.add(f"rollbacks:{bucket(stats.rollbacks)}")

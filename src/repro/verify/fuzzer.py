@@ -203,6 +203,23 @@ def generate_scenario(
                     rates["reorder"] = reorder
                 kwargs["faults"] = {"seed": rng.randrange(10_000),
                                     "rates": rates}
+    if backend == "parallel" and workers > 1:
+        # elasticity plans: mostly migrations, the occasional worker
+        # join/leave; biased on like any other unexplored lattice axis
+        churn_on = _draw(
+            rng, coverage, [(True, "churn:on"), (False, "churn:off")]
+        )
+        if churn_on:
+            kinds = ("migrate", "migrate", "migrate", "join", "leave")
+            steps = [
+                {
+                    "at": rng.randrange(1, 6),
+                    "kind": rng.choice(kinds),
+                    "count": rng.randrange(1, 3),
+                }
+                for _ in range(rng.randrange(1, 4))
+            ]
+            kwargs["churn"] = {"seed": rng.randrange(10_000), "steps": steps}
     if backend in ("modelled", "conservative") and rng.random() < 0.25:
         n_lps = kwargs["app_params"].get(
             "n_lps", spec.base_params.get("n_lps", 2)

@@ -335,4 +335,9 @@ def _run_parallel(
         f"{violation.invariant}" for _shard, violation in sim.violations
     )
     result.oracle_checks = sim.oracle_checks
-    return {"stats": stats, "gvt_rounds": sim.gvt_rounds_run}
+    return {
+        "stats": stats,
+        "gvt_rounds": sim.gvt_rounds_run,
+        "migrations": sim.migrations_in,
+        "worker_timeline": tuple(sim.worker_timeline),
+    }

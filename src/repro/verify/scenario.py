@@ -52,7 +52,7 @@ from ..core.window_controller import AdaptiveTimeWindow
 from ..faults.plan import FaultPlan
 from ..kernel.cancellation import Mode, StaticCancellation
 from ..kernel.checkpointing import MAX_INTERVAL, StaticCheckpoint
-from ..kernel.config import SimulationConfig
+from ..kernel.config import SimulationConfig, validate_churn_plan
 from ..kernel.errors import ConfigurationError
 
 SCHEMA_SCENARIO = "repro-verify-scenario-1"
@@ -224,6 +224,12 @@ class Scenario:
     lp_speed_factors: dict = field(default_factory=dict)
     #: :meth:`FaultPlan.to_dict` form, or ``None`` for a perfect wire
     faults: dict | None = None
+    #: seeded elasticity plan — scripted live migrations and worker
+    #: join/leave keyed by GVT-commit index (parallel backend only;
+    #: :func:`repro.kernel.config.validate_churn_plan` pins the shape).
+    #: ``None`` means a fixed worker set, and is omitted from the JSON
+    #: form so pre-churn corpus entries keep their scenario ids.
+    churn: dict | None = None
 
     #: generator provenance (which fuzz seed produced this scenario);
     #: does not influence execution
@@ -311,6 +317,13 @@ class Scenario:
                 raise ConfigurationError(
                     "backend='conservative' runs in-process (workers=1)"
                 )
+        if self.churn is not None:
+            if self.backend != "parallel":
+                raise ConfigurationError(
+                    "churn plans script live migration and worker "
+                    "join/leave, which only the parallel backend executes"
+                )
+            validate_churn_plan(self.churn)
         if self.backend == "parallel":
             if self.faults is not None:
                 raise ConfigurationError(
@@ -382,6 +395,7 @@ class Scenario:
             workers=self.workers if self.backend == "parallel" else 1,
             faults=self.fault_plan(),
             lp_speed_factors=self.speed_factors(),
+            churn=self.churn,
         )
         if self.time_window == "adaptive":
             kwargs["time_window"] = lambda: AdaptiveTimeWindow()
@@ -399,6 +413,8 @@ class Scenario:
             value = getattr(self, f.name)
             if f.name == "end_time" and value == float("inf"):
                 value = None  # JSON has no Infinity; None means app default
+            if f.name == "churn" and value is None:
+                continue  # keep pre-churn corpus ids byte-stable
             doc[f.name] = value
         return doc
 

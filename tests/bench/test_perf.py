@@ -137,6 +137,22 @@ class TestDocument:
         assert entry["backend"] == "parallel"
         assert entry["workers"] == 2
 
+    def test_worker_timeline_defaults_flat(self):
+        entry = _make_doc()["benchmarks"]["fake.bench"]
+        assert entry["worker_timeline"] == [[0, 1]]
+
+    def test_worker_timeline_counter_lifted_into_provenance(self):
+        # an elastic run reports its trajectory as a counter; the document
+        # promotes it to provenance and keeps it out of the perf counters
+        doc = _make_doc(
+            backend="parallel", workers=2,
+            counters={"events": 7,
+                      "worker_timeline": [[0, 2], [1, 3], [3, 1]]},
+        )
+        entry = doc["benchmarks"]["fake.bench"]
+        assert entry["worker_timeline"] == [[0, 2], [1, 3], [3, 1]]
+        assert entry["counters"] == {"events": 7}
+
     def test_speedup_line_rendered(self):
         doc = _make_doc(backend="parallel", workers=2, rate_s=0.1)  # 1000/s
         single = _make_doc(backend="parallel", workers=1, rate_s=0.15)
@@ -237,6 +253,33 @@ class TestComparison:
         report = compare_documents(base, current, fail_on_regress=25.0)
         assert report.ok
         assert report.incomparable[0][1].endswith("parallel/2w -> parallel/4w")
+
+    def test_identical_elastic_trajectories_stay_comparable(self):
+        # a mid-run worker change is not "incomparable" per se — two runs
+        # with the same churn trajectory are the same experiment
+        timeline = {"worker_timeline": [[0, 2], [1, 3], [3, 1]]}
+        base = _make_doc(backend="parallel", workers=2,
+                         counters={"events": 7, **timeline})
+        current = _make_doc(backend="parallel", workers=2,
+                            counters={"events": 7, **timeline})
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.incomparable == []
+        assert [d.name for d in report.deltas] == ["fake.bench"]
+
+    def test_diverging_trajectories_render_both_timelines(self):
+        base = _make_doc(backend="parallel", workers=2)
+        current = _make_doc(
+            backend="parallel", workers=2,
+            counters={"events": 7,
+                      "worker_timeline": [[0, 2], [2, 1]]},
+        )
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.incomparable == [
+            ("fake.bench", "backend/workers changed: "
+                           "parallel/2w -> parallel/2w@0->1w@2")
+        ]
 
     def test_pre_provenance_documents_default_to_modelled(self):
         # documents written before backend/workers were emitted compare

@@ -29,6 +29,7 @@ EXPECTED_KNOBS = (
     "time_window",
     "gvt_period",
     "snapshot",
+    "placement",
 )
 
 
@@ -77,6 +78,7 @@ class TestSpecIntegrity:
             ("time_window", 0.0),
             ("gvt_period", -1.0),
             ("snapshot", "xml"),
+            ("placement", "sticky"),
         ],
     )
     def test_out_of_domain_values_raise(self, name, bad):
