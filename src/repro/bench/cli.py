@@ -96,6 +96,11 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                         help="with --compare: exit non-zero if any "
                              "benchmark's rate drops more than PCT percent "
                              "or its deterministic counters drift")
+    parser.add_argument("--wire-gate", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit non-zero unless every parallel shm "
+                             "benchmark beats its in-document .queue twin "
+                             "by at least RATIO x (same machine, same run)")
 
 
 # --------------------------------------------------------------------- #
@@ -165,6 +170,8 @@ def run_parallel(args: argparse.Namespace) -> int:
         argv += ["--elastic-smoke"]
     if args.gvt_period is not None:
         argv += ["--gvt-period", str(args.gvt_period)]
+    if args.wire:
+        argv += ["--wire", args.wire]
     return validate_main(argv)
 
 
@@ -175,6 +182,7 @@ def run_perf(args: argparse.Namespace) -> int:
         load_document,
         make_document,
         render_document,
+        wire_gate,
         write_document,
     )
     from .perf.suite import run_suite
@@ -198,6 +206,7 @@ def run_perf(args: argparse.Namespace) -> int:
         path = write_document(document, out)
         print(f"document written to {path}")
 
+    failed = False
     if args.compare:
         baseline = load_document(args.compare)
         comparison = compare_documents(
@@ -207,10 +216,16 @@ def run_perf(args: argparse.Namespace) -> int:
         print(f"comparison vs {args.compare}:")
         print(comparison.render())
         if args.fail_on_regress is not None and not comparison.ok:
-            return 1
+            failed = True
     elif args.fail_on_regress is not None:
         raise SystemExit("--fail-on-regress requires --compare BASELINE.json")
-    return 0
+    if args.wire_gate is not None:
+        gate = wire_gate(document, min_speedup=args.wire_gate)
+        print()
+        print(gate.render())
+        if not gate.ok:
+            failed = True
+    return 1 if failed else 0
 
 
 def run_ablate(args: argparse.Namespace) -> int:
@@ -339,6 +354,9 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
                                "migration plus one worker leave")
     parallel.add_argument("--gvt-period", type=float, default=None,
                           help="wall-clock GVT period in microseconds")
+    parallel.add_argument("--wire", default=None, choices=("shm", "queue"),
+                          help="inter-shard data wire (default: shm); the "
+                               "CI parity matrix runs both")
     parallel.set_defaults(runner=run_parallel)
     ablate = subparsers.add_parser(
         "ablate",

@@ -40,6 +40,9 @@ class Benchmark:
     backend: str = "modelled"
     #: worker process count (always 1 for the modelled backend)
     workers: int = 1
+    #: inter-shard data wire for parallel benchmarks ("shm"/"queue");
+    #: ``None`` for modelled benchmarks, which have no wire
+    wire: str | None = None
 
     def run(self, *, quick: bool = False, reps: int = 3, warmup: int = 1) -> Measurement:
         return measure(self.make(quick), reps=reps, warmup=warmup)
@@ -49,7 +52,7 @@ REGISTRY: dict[str, Benchmark] = {}
 
 
 def benchmark(name: str, kind: str, unit: str, *, backend: str = "modelled",
-              workers: int = 1):
+              workers: int = 1, wire: str | None = None):
     """Register ``fn(quick) -> Workload`` under ``name``."""
 
     def register(fn: Callable[[bool], Workload]):
@@ -57,7 +60,7 @@ def benchmark(name: str, kind: str, unit: str, *, backend: str = "modelled",
             raise ValueError(f"duplicate benchmark name {name!r}")
         REGISTRY[name] = Benchmark(
             name=name, kind=kind, unit=unit, make=fn,
-            backend=backend, workers=workers,
+            backend=backend, workers=workers, wire=wire,
         )
         return fn
 
@@ -415,7 +418,9 @@ def _parallel_smmp_model(quick: bool):
 _PARALLEL_MODELS = {"phold": _parallel_phold_model, "smmp": _parallel_smmp_model}
 
 
-def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
+def _parallel_workload(
+    app: str, workers: int, quick: bool, wire: str = "shm"
+) -> Workload:
     """Differentially-validated parallel run of ``app``.
 
     Golden result and shard assignment are computed once at make() time,
@@ -423,7 +428,10 @@ def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
     committed counters are checked against the sequential golden every
     repetition — a mismatch raises, which both fails the benchmark and
     keeps the reported counters deterministic (timing.measure flags any
-    cross-repetition counter drift as corruption).
+    cross-repetition counter drift as corruption).  ``wire`` selects the
+    inter-shard data path; the ``.queue`` twins exist so the shm
+    fast-path speedup is measured in-document on the same machine
+    (report.wire_gate, the CI floor).
     """
     from collections import Counter
 
@@ -453,7 +461,7 @@ def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
 
         config = SimulationConfig(
             backend="parallel", workers=workers, end_time=end_time,
-            max_executed_events=2_000_000,
+            max_executed_events=2_000_000, wire=wire,
             # a modest FAW window so the IPC path runs batched, as a
             # deployment would (docs/parallel.md)
             aggregation=lambda _lp: FixedWindow(50.0),
@@ -494,28 +502,46 @@ def _parallel_workload(app: str, workers: int, quick: bool) -> Workload:
     return run
 
 
-@benchmark("parallel.phold", "macro", "events", backend="parallel", workers=2)
+@benchmark("parallel.phold", "macro", "events", backend="parallel", workers=2,
+           wire="shm")
 def _parallel_phold(quick: bool) -> Workload:
     """PHOLD across 2 worker processes, validated against sequential."""
     return _parallel_workload("phold", 2, quick)
 
 
-@benchmark("parallel.phold.1w", "macro", "events", backend="parallel", workers=1)
+@benchmark("parallel.phold.1w", "macro", "events", backend="parallel",
+           workers=1, wire="shm")
 def _parallel_phold_1w(quick: bool) -> Workload:
     """Single-worker baseline for the parallel.phold speedup ratio."""
     return _parallel_workload("phold", 1, quick)
 
 
-@benchmark("parallel.smmp", "macro", "events", backend="parallel", workers=2)
+@benchmark("parallel.smmp", "macro", "events", backend="parallel", workers=2,
+           wire="shm")
 def _parallel_smmp(quick: bool) -> Workload:
     """SMMP across 2 worker processes, validated against sequential."""
     return _parallel_workload("smmp", 2, quick)
 
 
-@benchmark("parallel.smmp.1w", "macro", "events", backend="parallel", workers=1)
+@benchmark("parallel.smmp.1w", "macro", "events", backend="parallel",
+           workers=1, wire="shm")
 def _parallel_smmp_1w(quick: bool) -> Workload:
     """Single-worker baseline for the parallel.smmp speedup ratio."""
     return _parallel_workload("smmp", 1, quick)
+
+
+@benchmark("parallel.phold.queue", "macro", "events", backend="parallel",
+           workers=2, wire="queue")
+def _parallel_phold_queue(quick: bool) -> Workload:
+    """Queue-wire twin of parallel.phold: the shm fast-path denominator."""
+    return _parallel_workload("phold", 2, quick, wire="queue")
+
+
+@benchmark("parallel.smmp.queue", "macro", "events", backend="parallel",
+           workers=2, wire="queue")
+def _parallel_smmp_queue(quick: bool) -> Workload:
+    """Queue-wire twin of parallel.smmp: the shm fast-path denominator."""
+    return _parallel_workload("smmp", 2, quick, wire="queue")
 
 
 # --------------------------------------------------------------------- #

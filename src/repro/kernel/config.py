@@ -121,6 +121,21 @@ class SimulationConfig:
     #: worker-process count for the parallel backend (ignored otherwise)
     workers: int = 1
 
+    #: inter-shard data wire for the parallel backend: "shm" (the
+    #: default) carries packed binary frames through shared-memory SPSC
+    #: rings with the queues demoted to a control/doorbell channel;
+    #: "queue" is the pure-Python fallback that pickles every DataBatch
+    #: over mp.Queue (docs/parallel.md, "Wire formats").  Runs on either
+    #: wire commit byte-identical results; "shm" degrades to "queue" at
+    #: run time if shared memory cannot be allocated.
+    wire: str = "shm"
+
+    #: pin each parallel worker to one CPU core via os.sched_setaffinity
+    #: (ROOT-Sim style).  Off by default: binding helps when cores >=
+    #: workers and hurts when the fleet is oversubscribed.  Ignored on
+    #: platforms without sched_setaffinity and by the modelled backend.
+    pin_cores: bool = False
+
     #: how the kernel copies states for checkpoints and restores: a
     #: registry name ("copy", "pickle", "deepcopy") or a
     #: :class:`repro.kernel.state.SnapshotStrategy` instance.  "copy" is
@@ -226,6 +241,10 @@ class SimulationConfig:
                     f"{', '.join(offending)} (see docs/parallel.md; "
                     "per-shard tracing uses ParallelSimulation(trace_dir=...))"
                 )
+        if self.wire not in ("shm", "queue"):
+            raise ConfigurationError(
+                f"unknown wire {self.wire!r} (known: 'shm', 'queue')"
+            )
         if self.gvt_algorithm not in ("omniscient", "mattern"):
             raise ConfigurationError(
                 f"unknown GVT algorithm {self.gvt_algorithm!r}"

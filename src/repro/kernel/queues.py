@@ -132,7 +132,8 @@ class InputQueue:
     def pop_next(self) -> Event:
         """Remove and return the smallest unprocessed event, marking it
         processed."""
-        self._skip_tombstones()
+        if self._tombstones:
+            self._skip_tombstones()
         if not self._future:
             raise TimeWarpError("pop_next on an empty input queue")
         _, event = heapq.heappop(self._future)
@@ -147,7 +148,8 @@ class InputQueue:
         return self.processed[-1].key() if self.processed else None
 
     def has_future(self) -> bool:
-        self._skip_tombstones()
+        if self._tombstones:  # same inlined fast path as peek_next
+            self._skip_tombstones()
         return bool(self._future)
 
     def future_count(self) -> int:

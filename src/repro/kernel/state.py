@@ -33,6 +33,11 @@ from typing import Any, Protocol, runtime_checkable
 from .errors import ConfigurationError
 from .event import EventKey, VirtualTime, payload_size_bytes
 
+try:  # optional fast path for array-valued state fields
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on bare installs
+    _np = None
+
 
 @runtime_checkable
 class AppState(Protocol):
@@ -64,6 +69,9 @@ def _copy_value(value: Any) -> Any:
         return [_copy_value(item) for item in value]
     if kind is dict:
         return {key: _copy_value(item) for key, item in value.items()}
+    if _np is not None and kind is _np.ndarray:
+        # struct-of-arrays states: one C memcpy instead of a field walk
+        return value.copy()
     if isinstance(value, (int, float, str, bytes, bool, tuple, frozenset)):
         # tuples may contain mutables in theory; the documented contract is
         # that tuple fields hold immutables, so sharing is safe.
@@ -84,6 +92,8 @@ def _copy_value(value: Any) -> Any:
 
 def _value_size(value: Any) -> int:
     """Modelled byte size of a state field (same spirit as payload sizes)."""
+    if _np is not None and type(value) is _np.ndarray:
+        return 8 + value.nbytes
     if isinstance(value, list):
         return 8 + sum(_value_size(item) for item in value)
     if isinstance(value, dict):

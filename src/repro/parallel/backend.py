@@ -5,8 +5,11 @@
 input, same ``run() -> RunStats`` output, but the LPs execute in separate
 OS processes (one LP per worker — the process boundary is the address
 space the paper's LP abstraction stands for).  Inter-shard events travel
-as pickled batches over ``multiprocessing`` queues behind the DyMA
-aggregation buffers; the parent process runs Mattern-colour GVT rounds
+behind the DyMA aggregation buffers as packed binary frames through
+shared-memory SPSC rings (``wire="shm"``, the default; see
+:mod:`repro.parallel.wire` and :mod:`repro.parallel.shm`) or as pickled
+batches over ``multiprocessing`` queues (``wire="queue"``, the pure
+fallback); the parent process runs Mattern-colour GVT rounds
 (:mod:`repro.parallel.gvt`), drives fossil collection, detects
 termination, and merges the per-shard statistics into one
 :class:`~repro.stats.counters.RunStats`.
@@ -43,6 +46,7 @@ from ..partition.strategies import (
 )
 from ..stats.counters import RunStats
 from .gvt import GvtCoordinator, RoundResult
+from .shm import RING_CAPACITY, ShmRing
 from .ipc import (
     DrainAck,
     DrainProbe,
@@ -200,6 +204,18 @@ class ParallelSimulation:
         self.churn_executed = 0
         self.churn_skipped = 0
 
+        #: the wire actually used, resolved at run(): config.wire, with
+        #: "shm" degrading to "queue" if shared memory is unavailable
+        self.wire = self.config.wire
+        self._rings: dict[tuple[int, int], ShmRing] | None = None
+        #: merged per-shard wire counters (frames, fallbacks) after run()
+        self.wire_stats: dict[str, int] = {
+            "frames_sent": 0,
+            "frames_received": 0,
+            "ring_bytes_sent": 0,
+            "wire_fallbacks": 0,
+        }
+
         # --- run results -------------------------------------------------
         self.stats: RunStats | None = None
         self.final_states: dict[str, object] = {}
@@ -271,12 +287,30 @@ class ParallelSimulation:
         self._plan_extras: dict = {}
         if self.config.placement == "dynamic":
             self._plan_extras["report_loads"] = True
+        # One SPSC ring per directed pair, allocated for the whole
+        # pre-provisioned pool (joiners inherit theirs across fork, like
+        # the inboxes).  Allocation failure is not an error: the queue
+        # wire is the always-works fallback.
+        if self.wire == "shm" and pool_size > 1:
+            self._rings = {}
+            try:
+                for src in range(pool_size):
+                    for dst in range(pool_size):
+                        if src != dst:
+                            self._rings[(src, dst)] = ShmRing.create(
+                                RING_CAPACITY
+                            )
+            except (OSError, ValueError):
+                self._destroy_rings()
+                self.wire = "queue"
+        elif self.wire == "shm":
+            self.wire = "queue"  # single worker: nothing inter-shard
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         for shard in range(self.workers):
             self._processes[shard] = ctx.Process(
                 target=worker_main,
                 args=(shard, self._make_plan(shard), inboxes[shard],
-                      report_queue, dict(enumerate(inboxes))),
+                      report_queue, dict(enumerate(inboxes)), self._rings),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -310,9 +344,12 @@ class ParallelSimulation:
         finally:
             for process in self._processes.values():
                 process.join(timeout=10.0)
+            self._destroy_rings()
 
         for steps in self._churn_steps.values():
-            self.churn_skipped += len(steps)  # run ended before their commit
+            # only reachable when the run committed no GVT at all —
+            # quiescence with commits fires leftovers in _drive
+            self.churn_skipped += len(steps)
         payloads.update(self._retired_payloads)
         self.wall_s = time.perf_counter() - started
         self.gvt_rounds_run = coordinator.rounds_completed
@@ -320,6 +357,13 @@ class ParallelSimulation:
         self.stats = self._merge(payloads, committed if committed_any else 0.0)
         self._global_checks(payloads)
         return self.stats
+
+    def _destroy_rings(self) -> None:
+        """Release every shared-memory segment (parent is the creator)."""
+        if self._rings is not None:
+            for ring in self._rings.values():
+                ring.destroy()
+            self._rings = None
 
     def _make_plan(
         self, shard: int, *, extra: dict | None = None
@@ -365,6 +409,18 @@ class ParallelSimulation:
                 if not result.all_quiet:
                     self._maybe_reconfigure(coordinator, result)
             if result.all_quiet:
+                if committed_any and self._churn_steps:
+                    # The fleet quiesced before some scripted steps'
+                    # commit indices were reached (fast wires finish
+                    # short runs in a handful of rounds).  A quiet
+                    # fleet drains trivially, so fire the outstanding
+                    # steps now, in plan order, then run one more
+                    # round so the final totals and active set match
+                    # the post-churn fleet.
+                    for index in sorted(self._churn_steps):
+                        for step in self._churn_steps.pop(index):
+                            self._run_churn_step(coordinator, step)
+                    continue
                 return result, committed, committed_any
             # Busy fleet: next round after the configured period.  Idle
             # fleet (draining in-flight work or final reds): spin fast so
@@ -482,7 +538,7 @@ class ParallelSimulation:
                 target=worker_main,
                 args=(shard, self._make_plan(shard, extra={"join_epoch": epoch}),
                       self._inboxes[shard], self._report_queue,
-                      dict(enumerate(self._inboxes))),
+                      dict(enumerate(self._inboxes)), self._rings),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -621,6 +677,8 @@ class ParallelSimulation:
             stats.physical_messages += transport["messages_sent"]
             stats.events_on_wire += transport["events_carried"]
             stats.bytes_on_wire += transport["bytes_sent"]
+            for key in self.wire_stats:
+                self.wire_stats[key] += transport.get(key, 0)
             for name, ostats in payload["object_stats"].items():
                 stats.per_object[name] = ostats
                 stats.committed_events += ostats.events_committed

@@ -1,0 +1,190 @@
+"""SPSC shared-memory ring buffers: the fast inter-shard wire.
+
+One :class:`ShmRing` sits on a single ``multiprocessing.shared_memory``
+segment and carries length-prefixed binary frames from exactly one
+producer process to exactly one consumer process (the parallel backend
+creates one ring per *directed* shard pair before forking, so rings are
+inherited, never pickled).  Handoff is by a pair of monotonically
+increasing byte cursors in the segment header — the producer owns
+``tail``, the consumer owns ``head``, and each side publishes its cursor
+exactly once per operation *after* the corresponding data write, which
+is the whole synchronization protocol (single-producer/single-consumer
+plus x86-TSO/compiler-barrier-per-bytecode store ordering; no locks, no
+syscalls on the hot path).
+
+Record framing: ``u32`` length + payload, written contiguously.  When a
+record does not fit in the space before the physical end of the segment,
+the producer writes a wrap marker (``0xFFFFFFFF``) in the remaining
+space (or nothing, if fewer than 4 bytes remain — both sides skip the
+tail sliver implicitly) and restarts at offset 0; cursors keep counting
+monotonically, so ``full`` vs ``empty`` is never ambiguous.
+
+``try_push`` returns ``False`` on a full ring — backpressure is the
+*caller's* job (the worker drains its own inbound rings while waiting,
+which is what makes mutual-full deadlock impossible; see
+``worker._send_batch``).  The header also carries a consumer-waiting
+flag: the consumer sets it before blocking on its control queue, the
+producer tests-and-clears it after a push and, if it was set, sends a
+``Doorbell`` down the (slow, syscall) queue to wake the consumer.
+Duplicate or stale doorbells are harmless no-ops.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+#: default per-ring data capacity used by the parallel backend, bytes.
+#: Bounded memory: a pool of P workers allocates P*(P-1) rings.
+RING_CAPACITY = 1 << 18
+
+_HEADER_BYTES = 64
+_HEAD_OFF = 0  # consumer cursor (u64, monotonic)
+_TAIL_OFF = 16  # producer cursor (u64, monotonic)
+_WAIT_OFF = 32  # consumer-waiting flag (u8)
+_WRAP = 0xFFFFFFFF
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class RingRecordTooLarge(ValueError):
+    """The record can never fit this ring; use the queue fallback."""
+
+
+class ShmRing:
+    """One directed single-producer/single-consumer frame ring."""
+
+    __slots__ = ("_shm", "_buf", "_capacity", "max_record", "_owner")
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool = False):
+        self._shm = shm
+        self._buf = shm.buf
+        self._capacity = shm.size - _HEADER_BYTES
+        #: largest pushable record (worst case burns a header-sized
+        #: sliver at the wrap point in addition to the length prefix)
+        self.max_record = self._capacity - 8
+        self._owner = owner
+
+    @classmethod
+    def create(cls, capacity: int = RING_CAPACITY) -> "ShmRing":
+        """Allocate a fresh zeroed ring (call :meth:`destroy` when done)."""
+        if capacity < 64:
+            raise ValueError(f"ring capacity {capacity} is unusably small")
+        shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + capacity
+        )
+        shm.buf[:_HEADER_BYTES] = bytes(_HEADER_BYTES)
+        return cls(shm, owner=True)
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def try_push(self, payload: bytes) -> bool:
+        """Append one record; ``False`` if the ring is currently full."""
+        n = len(payload)
+        need = 4 + n
+        if n > self.max_record:
+            raise RingRecordTooLarge(
+                f"{n}-byte record exceeds ring max {self.max_record}"
+            )
+        buf = self._buf
+        cap = self._capacity
+        head = _U64.unpack_from(buf, _HEAD_OFF)[0]
+        tail = _U64.unpack_from(buf, _TAIL_OFF)[0]
+        free = cap - (tail - head)
+        offset = tail % cap
+        contiguous = cap - offset
+        if contiguous < need:
+            # restart at 0; the tail sliver is skipped by both sides
+            if contiguous + need > free:
+                return False
+            if contiguous >= 4:
+                _U32.pack_into(buf, _HEADER_BYTES + offset, _WRAP)
+            tail += contiguous
+            offset = 0
+        elif need > free:
+            return False
+        start = _HEADER_BYTES + offset
+        _U32.pack_into(buf, start, n)
+        buf[start + 4:start + 4 + n] = payload
+        # publish: the single store that makes the record visible
+        _U64.pack_into(buf, _TAIL_OFF, tail + need)
+        return True
+
+    def take_waiting(self) -> bool:
+        """Test-and-clear the consumer-waiting flag (producer side)."""
+        buf = self._buf
+        if buf[_WAIT_OFF]:
+            buf[_WAIT_OFF] = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def try_pop(self) -> bytes | None:
+        """Remove and return the oldest record, or ``None`` when empty."""
+        buf = self._buf
+        cap = self._capacity
+        head = _U64.unpack_from(buf, _HEAD_OFF)[0]
+        tail = _U64.unpack_from(buf, _TAIL_OFF)[0]
+        if head == tail:
+            return None
+        offset = head % cap
+        contiguous = cap - offset
+        if contiguous < 4:
+            head += contiguous  # implicit sliver skip (no room for a marker)
+            offset = 0
+        elif _U32.unpack_from(buf, _HEADER_BYTES + offset)[0] == _WRAP:
+            head += contiguous
+            offset = 0
+        start = _HEADER_BYTES + offset
+        n = _U32.unpack_from(buf, start)[0]
+        payload = bytes(buf[start + 4:start + 4 + n])
+        # publish: frees the space for the producer
+        _U64.pack_into(buf, _HEAD_OFF, head + 4 + n)
+        return payload
+
+    def set_waiting(self) -> None:
+        self._buf[_WAIT_OFF] = 1
+
+    def clear_waiting(self) -> None:
+        self._buf[_WAIT_OFF] = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def used(self) -> int:
+        buf = self._buf
+        return (_U64.unpack_from(buf, _TAIL_OFF)[0]
+                - _U64.unpack_from(buf, _HEAD_OFF)[0])
+
+    @property
+    def empty(self) -> bool:
+        return self.used == 0
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self._buf = None
+        self._shm.close()
+
+    def destroy(self) -> None:
+        """Close and unlink (creator side; idempotent best-effort)."""
+        try:
+            self.close()
+        except BufferError:  # pragma: no cover - exported views outstanding
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

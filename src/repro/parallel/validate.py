@@ -79,6 +79,8 @@ class DifferentialResult:
     worker_timeline: tuple[tuple[int, int], ...] = ()
     #: checkpoints restored across shard boundaries during the run
     migrations: int = 0
+    #: inter-shard data wire actually used ("shm" or "queue")
+    wire: str = "shm"
 
     @property
     def elastic(self) -> bool:
@@ -98,7 +100,7 @@ class DifferentialResult:
     def render(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         lines = [
-            f"{status} {self.app} workers={self.workers}: "
+            f"{status} {self.app} workers={self.workers} wire={self.wire}: "
             f"committed {self.committed}/{self.expected}, "
             f"{self.rollbacks} rollback(s), {self.gvt_rounds} GVT round(s), "
             f"{self.oracle_checks} oracle check(s), {self.wall_s:.2f}s wall"
@@ -131,14 +133,18 @@ def run_differential(
     trace_dir: str | None = None,
     churn: dict | None = None,
     gvt_period: float | None = None,
+    wire: str | None = None,
 ) -> DifferentialResult:
     """One differential run of ``app`` over ``workers`` shards.
 
     ``churn`` is a seeded elasticity plan (migrations and worker
     join/leave keyed by GVT-commit index; see
     :func:`repro.kernel.config.validate_churn_plan`) — the committed
-    result must match the golden regardless.  Churn plans usually want a
-    short ``gvt_period`` so enough commits happen for every step to fire.
+    result must match the golden regardless.  Steps the fleet quiesces
+    past fire on the quiet fleet, so every feasible step takes effect.
+    ``wire`` selects the inter-shard data path ("shm"/"queue"; ``None``
+    keeps the config default) — both must commit identical results,
+    which is exactly what the CI parity matrix checks.
     """
     build, end_time = APPS[app]
     golden_counts, golden_states, expected = sequential_golden(app)
@@ -150,9 +156,11 @@ def run_differential(
         max_executed_events=MAX_EXECUTED_EVENTS,
         churn=churn,
         **({} if gvt_period is None else {"gvt_period": gvt_period}),
+        **({} if wire is None else {"wire": wire}),
     )
     started = time.perf_counter()
     error = ""
+    wire_used = config.wire
     committed = rollbacks = gvt_rounds = oracle_checks = 0
     count_mismatches: list[tuple[str, int, int]] = []
     state_mismatches: list[str] = []
@@ -165,6 +173,7 @@ def run_differential(
             trace_dir=trace_dir, timeout_s=timeout_s,
         )
         stats = sim.run()
+        wire_used = sim.wire
         committed = stats.committed_events
         rollbacks = stats.rollbacks
         gvt_rounds = sim.gvt_rounds_run
@@ -198,6 +207,7 @@ def run_differential(
         error=error,
         worker_timeline=worker_timeline,
         migrations=migrations,
+        wire=wire_used,
     )
 
 
@@ -232,6 +242,11 @@ def main(argv=None) -> int:
              "worker leave, differential against the sequential golden",
     )
     parser.add_argument(
+        "--wire", default=None, choices=("shm", "queue"),
+        help="inter-shard data wire (default: the config default, shm); "
+             "the CI parity matrix runs both and compares digests",
+    )
+    parser.add_argument(
         "--gvt-period", type=float, default=None,
         help="wall-clock GVT period in microseconds (churn plans want a "
              "short one so every step's commit index is reached)",
@@ -257,6 +272,7 @@ def main(argv=None) -> int:
             app, args.workers,
             strategy=args.strategy, timeout_s=args.timeout,
             trace_dir=args.trace_dir, churn=churn, gvt_period=gvt_period,
+            wire=args.wire,
         )
         for app in apps
     ]

@@ -24,8 +24,11 @@ supplies what the modelled Executive supplied before:
 from __future__ import annotations
 
 import heapq
+import os
 import queue as queue_mod
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -43,6 +46,7 @@ from ..oracle.invariants import NULL_ORACLE
 from ..trace.tracer import NULL_TRACER, Tracer
 from .ipc import (
     DataBatch,
+    Doorbell,
     DrainAck,
     DrainProbe,
     GvtCommit,
@@ -60,6 +64,7 @@ from .ipc import (
     Stop,
 )
 from .transport import ShardTransport
+from .wire import WireEncodeError, decode_batch, encode_batch
 
 #: events executed between inbox polls.  This is the arrival-latency /
 #: throughput trade-off: long slices amortize queue polls but let a shard
@@ -71,6 +76,12 @@ EXECUTE_SLICE = 32
 
 #: idle blocking-wait granularity on the inbox, seconds
 IDLE_WAIT_S = 0.005
+
+#: wait while blocked pushing into a full outbound ring, seconds.  The
+#: first ~50 retries only yield the scheduler (``sleep(0)``): on an
+#: oversubscribed host the consumer usually just needs a time slice.
+BACKPRESSURE_WAIT_S = 0.0005
+_BACKPRESSURE_YIELDS = 50
 
 
 @dataclass
@@ -89,10 +100,17 @@ class ShardPlan:
     extras: dict[str, Any] = field(default_factory=dict)
 
 
-def worker_main(shard_id: int, plan: ShardPlan, inbox, to_coordinator, out_queues) -> None:
-    """Process entry point: run the shard, always report home."""
+def worker_main(shard_id: int, plan: ShardPlan, inbox, to_coordinator,
+                out_queues, rings=None) -> None:
+    """Process entry point: run the shard, always report home.
+
+    ``rings`` is the backend's full ``(src, dst) -> ShmRing`` map (shared
+    segments inherited across fork), or ``None`` for the queue wire.
+    """
     try:
-        _ShardRuntime(shard_id, plan, inbox, to_coordinator, out_queues).run()
+        _ShardRuntime(
+            shard_id, plan, inbox, to_coordinator, out_queues, rings
+        ).run()
     except BaseException:
         # A crash is a finding for the parent, not a silent exit code.
         to_coordinator.put(ShardError(shard_id, traceback.format_exc()))
@@ -102,13 +120,38 @@ class _ShardRuntime:
     """One worker's live state: LP, transport, colour agent, flush heap."""
 
     def __init__(self, shard_id: int, plan: ShardPlan, inbox, to_coordinator,
-                 out_queues) -> None:
+                 out_queues, rings=None) -> None:
         self.shard_id = shard_id
         self.plan = plan
         self.inbox = inbox
         self.to_coordinator = to_coordinator
         self.out_queues = out_queues
         config = plan.config
+        if config.pin_cores and hasattr(os, "sched_setaffinity"):
+            try:
+                cpus = sorted(os.sched_getaffinity(0))
+                os.sched_setaffinity(0, {cpus[shard_id % len(cpus)]})
+            except OSError:  # pragma: no cover - affinity is best-effort
+                pass
+
+        # -- shm wire (docs/parallel.md, "Wire formats") ----------------- #
+        rings = rings or {}
+        #: inbound rings, keyed by producing shard
+        self._rings_in = {
+            src: ring for (src, dst), ring in rings.items() if dst == shard_id
+        }
+        #: outbound rings, keyed by consuming shard
+        self._rings_out = {
+            dst: ring for (src, dst), ring in rings.items() if src == shard_id
+        }
+        #: batches absorbed from inbound rings while blocked on a full
+        #: outbound ring (decoded but not yet handled — handling mutates
+        #: LP state, which must not happen mid-send)
+        self._pending: deque[DataBatch] = deque()
+        self._frames_sent = 0
+        self._frames_received = 0
+        self._ring_bytes_sent = 0
+        self._wire_fallbacks = 0
 
         self.agent = ColourAgent()
         self.transport = ShardTransport(shard_id, self.agent)
@@ -255,16 +298,68 @@ class _ShardRuntime:
     def _drain_inbox(self) -> int:
         handled = 0
         while True:
-            try:
-                message = self.inbox.get_nowait()
-            except queue_mod.Empty:
+            message = self._next_nowait()
+            if message is None:
                 return handled
             handled += 1
             self._handle(message)
             if self._stop is not None:
                 return handled
 
+    def _next_nowait(self):
+        """Next deliverable message: absorbed backlog, rings, then queue."""
+        if self._pending:
+            return self._pending.popleft()
+        for ring in self._rings_in.values():
+            frame = ring.try_pop()
+            if frame is not None:
+                self._frames_received += 1
+                return decode_batch(frame)
+        try:
+            return self.inbox.get_nowait()
+        except queue_mod.Empty:
+            return None
+
+    def _absorb_rings(self) -> int:
+        """Drain every inbound ring into the pending backlog.
+
+        Called while blocked pushing into a *full* outbound ring: taking
+        our inbound frames off the wire guarantees some consumer is
+        always making space, so two mutually-full workers cannot
+        deadlock.  Frames are only decoded here, never handled — the LP
+        is mid-send and must not be mutated.
+        """
+        absorbed = 0
+        for ring in self._rings_in.values():
+            while True:
+                frame = ring.try_pop()
+                if frame is None:
+                    break
+                self._frames_received += 1
+                self._pending.append(decode_batch(frame))
+                absorbed += 1
+        return absorbed
+
     def _wait_one(self) -> None:
+        rings = self._rings_in
+        if rings:
+            # Sleep-wakeup protocol: raise the waiting flags, re-poll the
+            # rings (a frame may have landed before the flag was visible),
+            # then block on the control queue — a producer that observes
+            # the flag after its push rings the Doorbell there.
+            for ring in rings.values():
+                ring.set_waiting()
+            message = self._next_nowait()
+            if message is None:
+                try:
+                    message = self.inbox.get(timeout=IDLE_WAIT_S)
+                except queue_mod.Empty:
+                    message = None
+            for ring in rings.values():
+                ring.clear_waiting()
+            if message is not None:
+                self._handle(message)
+            return
         try:
             message = self.inbox.get(timeout=IDLE_WAIT_S)
         except queue_mod.Empty:
@@ -280,6 +375,8 @@ class _ShardRuntime:
                 self.transport.note_received(physical)
                 if physical.kind is MessageKind.DATA:
                     lp.receive_physical(physical.size_bytes(), physical.events)
+        elif isinstance(message, Doorbell):
+            pass  # wakeup only; the frames are already visible in the rings
         elif isinstance(message, GvtStart):
             # Entering the round first makes every later send red.
             self.agent.enter_round(message.round)
@@ -468,7 +565,36 @@ class _ShardRuntime:
     # ------------------------------------------------------------------ #
     def _flush_outbox(self) -> None:
         for dst, envelopes in self.transport.drain():
-            self.out_queues[dst].put(DataBatch(self.shard_id, envelopes))
+            self._send_batch(dst, envelopes)
+
+    def _send_batch(self, dst: int, envelopes) -> None:
+        """Ship one batch: packed frame through the ring when possible,
+        pickled DataBatch over the queue otherwise (oversized frames,
+        unencodable payloads, or no ring for this destination)."""
+        ring = self._rings_out.get(dst)
+        if ring is not None:
+            try:
+                frame = encode_batch(self.shard_id, envelopes)
+            except WireEncodeError:
+                frame = None
+            if frame is not None and len(frame) <= ring.max_record:
+                spins = 0
+                while not ring.try_push(frame):
+                    # Full ring: keep OUR inbound side drained while we
+                    # wait (deadlock freedom), then yield/back off.
+                    if not self._absorb_rings():
+                        time.sleep(
+                            0.0 if spins < _BACKPRESSURE_YIELDS
+                            else BACKPRESSURE_WAIT_S
+                        )
+                        spins += 1
+                self._frames_sent += 1
+                self._ring_bytes_sent += len(frame)
+                if ring.take_waiting():
+                    self.out_queues[dst].put(Doorbell(self.shard_id))
+                return
+            self._wire_fallbacks += 1
+        self.out_queues[dst].put(DataBatch(self.shard_id, envelopes))
 
     # ------------------------------------------------------------------ #
     # termination
@@ -511,6 +637,11 @@ class _ShardRuntime:
                 "bytes_sent": transport.bytes_sent,
                 "batches_sent": transport.batches_sent,
                 "batches_received": transport.batches_received,
+                "wire": "shm" if self._rings_out or self._rings_in else "queue",
+                "frames_sent": self._frames_sent,
+                "frames_received": self._frames_received,
+                "ring_bytes_sent": self._ring_bytes_sent,
+                "wire_fallbacks": self._wire_fallbacks,
             },
         }
 

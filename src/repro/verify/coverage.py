@@ -63,6 +63,10 @@ def features_for(scenario: Scenario, result, raw: dict) -> set[str]:
         f"speed:{'hetero' if s.lp_speed_factors else 'uniform'}",
         f"churn:{'on' if s.churn else 'off'}",
     }
+    if s.backend == "parallel":
+        # the wire only exists on the parallel backend; "default" marks a
+        # scenario that trusts the config default rather than pinning one
+        features.add(f"wire:{s.wire or 'default'}")
     if "migrations" in raw:
         features.add(f"migrations:{bucket(raw['migrations'])}")
     stats = raw.get("stats")

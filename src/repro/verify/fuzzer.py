@@ -203,6 +203,15 @@ def generate_scenario(
                     rates["reorder"] = reorder
                 kwargs["faults"] = {"seed": rng.randrange(10_000),
                                     "rates": rates}
+    if backend == "parallel":
+        # the inter-shard wire: pin shm, pin queue, or trust the config
+        # default — both pinned paths must commit identical results, and
+        # the coverage bias keeps the sweep visiting all three
+        kwargs["wire"] = _draw(
+            rng, coverage,
+            [(None, "wire:default"), ("shm", "wire:shm"),
+             ("queue", "wire:queue")],
+        )
     if backend == "parallel" and workers > 1:
         # elasticity plans: mostly migrations, the occasional worker
         # join/leave; biased on like any other unexplored lattice axis

@@ -204,6 +204,10 @@ class Scenario:
     backend: str = "modelled"
     #: worker-process count (parallel backend only)
     workers: int = 1
+    #: inter-shard data wire ("shm" / "queue"; parallel backend only).
+    #: ``None`` means the config default, and is omitted from the JSON
+    #: form so pre-wire corpus entries keep their scenario ids.
+    wire: str | None = None
 
     cancellation: str = "aggressive"
     #: static chi in [1, MAX_INTERVAL] or "dynamic"
@@ -249,6 +253,16 @@ class Scenario:
             )
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.wire is not None:
+            if self.wire not in ("shm", "queue"):
+                raise ConfigurationError(
+                    f"unknown wire {self.wire!r} (known: 'shm', 'queue')"
+                )
+            if self.backend != "parallel":
+                raise ConfigurationError(
+                    "wire selects the inter-shard data path, which only "
+                    "the parallel backend has; leave it unset"
+                )
         if self.cancellation not in CANCELLATION_VARIANTS:
             raise ConfigurationError(
                 f"unknown cancellation variant {self.cancellation!r} "
@@ -397,6 +411,8 @@ class Scenario:
             lp_speed_factors=self.speed_factors(),
             churn=self.churn,
         )
+        if self.wire is not None:
+            kwargs["wire"] = self.wire
         if self.time_window == "adaptive":
             kwargs["time_window"] = lambda: AdaptiveTimeWindow()
         if self.meta_control == "on":
@@ -413,8 +429,8 @@ class Scenario:
             value = getattr(self, f.name)
             if f.name == "end_time" and value == float("inf"):
                 value = None  # JSON has no Infinity; None means app default
-            if f.name == "churn" and value is None:
-                continue  # keep pre-churn corpus ids byte-stable
+            if f.name in ("churn", "wire") and value is None:
+                continue  # keep pre-churn/pre-wire corpus ids byte-stable
             doc[f.name] = value
         return doc
 

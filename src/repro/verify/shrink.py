@@ -39,8 +39,10 @@ def _knob_resets(s: Scenario) -> Iterator[Scenario]:
         steps = s.churn.get("steps", [])
         if len(steps) > 1:
             yield s.with_(churn={**s.churn, "steps": steps[:1]})
+    if s.wire is not None:
+        yield s.with_(wire=None)
     if s.backend != "modelled":
-        yield s.with_(backend="modelled", workers=1, churn=None)
+        yield s.with_(backend="modelled", workers=1, churn=None, wire=None)
     if s.backend == "parallel" and s.workers > 1:
         yield s.with_(workers=1)
     defaults = Scenario()

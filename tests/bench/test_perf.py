@@ -75,8 +75,8 @@ class TestRegistry:
         "snapshot.copy", "snapshot.pickle",
         "rollback.storm", "gvt.local_min",
         "macro.phold", "macro.smmp", "macro.raid",
-        "parallel.phold", "parallel.phold.1w",
-        "parallel.smmp", "parallel.smmp.1w",
+        "parallel.phold", "parallel.phold.1w", "parallel.phold.queue",
+        "parallel.smmp", "parallel.smmp.1w", "parallel.smmp.queue",
     }
 
     def test_registered_benchmarks(self):
@@ -93,9 +93,13 @@ class TestRegistry:
             if name.startswith("parallel."):
                 assert bench.backend == "parallel"
                 assert bench.workers == (1 if name.endswith(".1w") else 2)
+                assert bench.wire == (
+                    "queue" if name.endswith(".queue") else "shm"
+                )
             else:
                 assert bench.backend == "modelled"
                 assert bench.workers == 1
+                assert bench.wire is None
 
     def test_unknown_only_rejected(self):
         with pytest.raises(ValueError, match="no benchmark matches"):
@@ -242,10 +246,20 @@ class TestComparison:
         assert report.ok
         assert report.deltas == []
         assert report.incomparable == [
-            ("fake.bench", "backend/workers changed: "
+            ("fake.bench", "backend/wire/workers changed: "
                            "modelled/1w -> parallel/2w")
         ]
         assert "incomparable: fake.bench" in report.render()
+
+    def test_wire_change_is_incomparable(self):
+        base = _make_doc(backend="parallel", workers=2)
+        base["benchmarks"]["fake.bench"]["wire"] = "queue"
+        current = _make_doc(backend="parallel", workers=2)
+        current["benchmarks"]["fake.bench"]["wire"] = "shm"
+        report = compare_documents(base, current, fail_on_regress=25.0)
+        assert report.ok
+        assert report.incomparable[0][1].endswith(
+            "parallel(queue)/2w -> parallel(shm)/2w")
 
     def test_worker_count_change_is_incomparable(self):
         base = _make_doc(backend="parallel", workers=2)
@@ -277,7 +291,7 @@ class TestComparison:
         report = compare_documents(base, current, fail_on_regress=25.0)
         assert report.ok
         assert report.incomparable == [
-            ("fake.bench", "backend/workers changed: "
+            ("fake.bench", "backend/wire/workers changed: "
                            "parallel/2w -> parallel/2w@0->1w@2")
         ]
 

@@ -35,8 +35,11 @@ FULL_TRAJECTORY = {
 
 @pytest.fixture(scope="module")
 def phold_churn():
+    # a short GVT period keeps the run fast; steps the fleet quiesces
+    # past fire on the quiet fleet, so the full trajectory is
+    # guaranteed regardless of how quickly the shm wire finishes
     return run_differential(
-        "phold", 2, churn=FULL_TRAJECTORY, gvt_period=5_000.0
+        "phold", 2, churn=FULL_TRAJECTORY, gvt_period=1_000.0
     )
 
 
@@ -80,6 +83,20 @@ class TestChurnDifferential:
         assert result.ok, result.render()
         # no joins or leaves: the worker set never changes
         assert result.worker_timeline == ((0, 2),)
+
+    def test_steps_past_quiescence_still_fire(self):
+        # commit index 50 is never reached — the run quiesces in a
+        # handful of rounds — so the leave fires on the quiet fleet
+        # instead of being silently dropped (docs/parallel.md)
+        result = run_differential(
+            "phold", 2,
+            churn={"seed": 5, "steps": [
+                {"at": 50, "kind": "leave", "count": 1},
+            ]},
+            gvt_period=1_000.0,
+        )
+        assert result.ok, result.render()
+        assert result.worker_timeline[-1][1] == 1
 
     def test_impossible_steps_are_skipped_not_fatal(self):
         # migrating with one worker and leaving below one worker are

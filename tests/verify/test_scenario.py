@@ -59,6 +59,27 @@ def test_scenario_id_ignores_seed_but_not_knobs():
     assert base.scenario_id() != base.with_(cancellation="lazy").scenario_id()
 
 
+def test_unset_wire_is_omitted_so_old_ids_are_stable():
+    # wire=None must serialize exactly like a pre-wire scenario, so
+    # every existing corpus entry keeps its id (same rule as churn)
+    assert "wire" not in Scenario().to_dict()
+    parallel = Scenario(backend="parallel", workers=2)
+    assert "wire" not in parallel.to_dict()
+    pinned = parallel.with_(wire="shm")
+    assert pinned.to_dict()["wire"] == "shm"
+    assert pinned.scenario_id() != parallel.scenario_id()
+    assert pinned.scenario_id() != \
+        parallel.with_(wire="queue").scenario_id()
+    again = Scenario.from_json(pinned.to_json())
+    assert again == pinned
+
+
+def test_wire_reaches_build_config():
+    parallel = Scenario(backend="parallel", workers=2)
+    assert parallel.build_config().wire == "shm"  # the config default
+    assert parallel.with_(wire="queue").build_config().wire == "queue"
+
+
 @pytest.mark.parametrize(
     "changes",
     [
@@ -86,6 +107,9 @@ def test_scenario_id_ignores_seed_but_not_knobs():
         {"backend": "parallel", "time_window": "adaptive"},
         {"backend": "parallel", "gvt_algorithm": "mattern"},
         {"backend": "parallel", "lp_speed_factors": {"0": 2.0}},
+        # the wire axis only exists on the parallel backend
+        {"backend": "parallel", "wire": "tcp"},
+        {"backend": "modelled", "wire": "shm"},
     ],
 )
 def test_invalid_scenarios_rejected(changes):
