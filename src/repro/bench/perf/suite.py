@@ -510,7 +510,7 @@ def _parallel_phold(quick: bool) -> Workload:
 
 
 @benchmark("parallel.phold.1w", "macro", "events", backend="parallel",
-           workers=1, wire="shm")
+           workers=1, wire=None)  # one worker: no inter-shard wire at all
 def _parallel_phold_1w(quick: bool) -> Workload:
     """Single-worker baseline for the parallel.phold speedup ratio."""
     return _parallel_workload("phold", 1, quick)
@@ -524,7 +524,7 @@ def _parallel_smmp(quick: bool) -> Workload:
 
 
 @benchmark("parallel.smmp.1w", "macro", "events", backend="parallel",
-           workers=1, wire="shm")
+           workers=1, wire=None)  # one worker: no inter-shard wire at all
 def _parallel_smmp_1w(quick: bool) -> Workload:
     """Single-worker baseline for the parallel.smmp speedup ratio."""
     return _parallel_workload("smmp", 1, quick)

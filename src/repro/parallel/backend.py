@@ -46,7 +46,7 @@ from ..partition.strategies import (
 )
 from ..stats.counters import RunStats
 from .gvt import GvtCoordinator, RoundResult
-from .shm import RING_CAPACITY, ShmRing
+from .shm import RING_CAPACITY, ShmRing, shm_wire_supported
 from .ipc import (
     DrainAck,
     DrainProbe,
@@ -205,7 +205,9 @@ class ParallelSimulation:
         self.churn_skipped = 0
 
         #: the wire actually used, resolved at run(): config.wire, with
-        #: "shm" degrading to "queue" if shared memory is unavailable
+        #: "shm" degrading to "queue" if shared memory is unavailable,
+        #: the run has a single worker, or the CPU lacks the x86-TSO
+        #: store ordering the ring protocol relies on (shm_wire_supported)
         self.wire = self.config.wire
         self._rings: dict[tuple[int, int], ShmRing] | None = None
         #: merged per-shard wire counters (frames, fallbacks) after run()
@@ -291,6 +293,10 @@ class ParallelSimulation:
         # pre-provisioned pool (joiners inherit theirs across fork, like
         # the inboxes).  Allocation failure is not an error: the queue
         # wire is the always-works fallback.
+        if self.wire == "shm" and not shm_wire_supported():
+            # The ring protocol needs x86-TSO store ordering; on weaker
+            # memory models the queue wire is the only safe one.
+            self.wire = "queue"
         if self.wire == "shm" and pool_size > 1:
             self._rings = {}
             try:

@@ -10,7 +10,11 @@ increasing byte cursors in the segment header — the producer owns
 exactly once per operation *after* the corresponding data write, which
 is the whole synchronization protocol (single-producer/single-consumer
 plus x86-TSO/compiler-barrier-per-bytecode store ordering; no locks, no
-syscalls on the hot path).
+syscalls on the hot path).  That ordering assumption is load-bearing:
+:func:`shm_wire_supported` answers whether the current machine provides
+it, and the parallel backend silently degrades ``wire="shm"`` to the
+queue wire where it does not (weakly ordered CPUs could observe a
+published cursor before the payload bytes and decode torn frames).
 
 Record framing: ``u32`` length + payload, written contiguously.  When a
 record does not fit in the space before the physical end of the segment,
@@ -31,6 +35,7 @@ Duplicate or stale doorbells are harmless no-ops.
 
 from __future__ import annotations
 
+import platform
 import struct
 from multiprocessing import shared_memory
 
@@ -47,6 +52,27 @@ _WRAP = 0xFFFFFFFF
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
+#: machines whose store ordering satisfies the ring protocol (x86-TSO).
+_TSO_MACHINES = frozenset(
+    {"x86_64", "amd64", "i686", "i586", "i486", "i386", "x86"}
+)
+
+
+def shm_wire_supported(machine: str | None = None) -> bool:
+    """Whether the lock-free ring protocol is safe on this CPU.
+
+    The cursor handoff relies on total-store-order semantics: the
+    payload write must become visible to the consumer no later than the
+    cursor publish.  CPython emits no fences, so on weakly ordered
+    machines (aarch64, ppc64le, ...) the consumer could observe the new
+    cursor before the payload bytes and decode a torn frame.  The
+    parallel backend consults this to degrade ``wire="shm"`` to the
+    queue wire silently off x86.
+    """
+    if machine is None:
+        machine = platform.machine()
+    return machine.lower() in _TSO_MACHINES
+
 
 class RingRecordTooLarge(ValueError):
     """The record can never fit this ring; use the queue fallback."""
@@ -61,9 +87,14 @@ class ShmRing:
         self._shm = shm
         self._buf = shm.buf
         self._capacity = shm.size - _HEADER_BYTES
-        #: largest pushable record (worst case burns a header-sized
-        #: sliver at the wrap point in addition to the length prefix)
-        self.max_record = self._capacity - 8
+        #: largest pushable record.  Half the capacity (minus the length
+        #: prefix) guarantees progress: at any write offset either the
+        #: straight run to the physical end fits the record, or the
+        #: offset itself is large enough that the wrap path fits once
+        #: the ring drains.  Anything bigger can land at an offset where
+        #: *neither* path ever fits — even on an empty ring — and wedge
+        #: the producer permanently.
+        self.max_record = self._capacity // 2 - 4
         self._owner = owner
 
     @classmethod

@@ -82,6 +82,11 @@ IDLE_WAIT_S = 0.005
 #: oversubscribed host the consumer usually just needs a time slice.
 BACKPRESSURE_WAIT_S = 0.0005
 _BACKPRESSURE_YIELDS = 50
+#: backoff sleeps tolerated before giving up on the ring for this batch
+#: (~1 s at BACKPRESSURE_WAIT_S).  A consumer that long without draining
+#: has almost certainly died; the batch takes the queue fallback so the
+#: producer returns to its inbox and Stop stays deliverable.
+_BACKPRESSURE_MAX_WAITS = 2000
 
 
 @dataclass
@@ -579,20 +584,29 @@ class _ShardRuntime:
                 frame = None
             if frame is not None and len(frame) <= ring.max_record:
                 spins = 0
+                pushed = True
                 while not ring.try_push(frame):
                     # Full ring: keep OUR inbound side drained while we
-                    # wait (deadlock freedom), then yield/back off.
+                    # wait (deadlock freedom), then yield/back off.  The
+                    # wait is bounded — if the consumer never drains
+                    # (crashed or exited), this batch takes the queue
+                    # fallback below rather than spinning forever with
+                    # the inbox (and any Stop in it) unread.
+                    spins += 1
+                    if spins > _BACKPRESSURE_YIELDS + _BACKPRESSURE_MAX_WAITS:
+                        pushed = False
+                        break
                     if not self._absorb_rings():
                         time.sleep(
-                            0.0 if spins < _BACKPRESSURE_YIELDS
+                            0.0 if spins <= _BACKPRESSURE_YIELDS
                             else BACKPRESSURE_WAIT_S
                         )
-                        spins += 1
-                self._frames_sent += 1
-                self._ring_bytes_sent += len(frame)
-                if ring.take_waiting():
-                    self.out_queues[dst].put(Doorbell(self.shard_id))
-                return
+                if pushed:
+                    self._frames_sent += 1
+                    self._ring_bytes_sent += len(frame)
+                    if ring.take_waiting():
+                        self.out_queues[dst].put(Doorbell(self.shard_id))
+                    return
             self._wire_fallbacks += 1
         self.out_queues[dst].put(DataBatch(self.shard_id, envelopes))
 

@@ -16,7 +16,12 @@ from repro.comm.message import MessageKind, PhysicalMessage
 from repro.kernel.config import SimulationConfig
 from repro.kernel.errors import ConfigurationError
 from repro.kernel.event import Event
-from repro.parallel.shm import RING_CAPACITY, RingRecordTooLarge, ShmRing
+from repro.parallel.shm import (
+    RING_CAPACITY,
+    RingRecordTooLarge,
+    ShmRing,
+    shm_wire_supported,
+)
 from repro.parallel.wire import (
     WIRE_VERSION,
     WireEncodeError,
@@ -28,6 +33,11 @@ from repro.parallel.wire import (
 needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="parallel backend requires the fork start method",
+)
+
+needs_tso = pytest.mark.skipif(
+    not shm_wire_supported(),
+    reason="shm wire requires x86-TSO store ordering",
 )
 
 
@@ -224,6 +234,25 @@ class TestShmRing:
         with pytest.raises(RingRecordTooLarge):
             ring.try_push(b"y" * (ring.max_record + 1))
 
+    def test_max_record_pushable_at_any_offset(self):
+        # Regression: with max_record > capacity//2 a large record could
+        # land at an offset where neither the straight run nor the wrap
+        # path ever fits — permanently unpushable on an *empty* ring
+        # (e.g. a 700-byte record at offset 600 of a 1024-byte ring).
+        ring = ShmRing.create(1024)
+        try:
+            big = b"m" * ring.max_record
+            # walk the write offset all around the ring
+            for size in range(1, ring.max_record + 1, 7):
+                filler = b"f" * size
+                assert ring.try_push(filler)
+                assert ring.try_pop() == filler
+                assert ring.empty
+                assert ring.try_push(big), f"wedged after {size}B filler"
+                assert ring.try_pop() == big
+        finally:
+            ring.destroy()
+
     def test_pop_empty_returns_none(self, ring):
         assert ring.try_pop() is None
         assert ring.empty
@@ -251,6 +280,64 @@ class TestShmRing:
             ShmRing.create(16)
 
 
+class TestShmWireSupported:
+    @pytest.mark.parametrize("machine", ["x86_64", "AMD64", "amd64", "i686"])
+    def test_tso_machines(self, machine):
+        assert shm_wire_supported(machine)
+
+    @pytest.mark.parametrize("machine", ["aarch64", "arm64", "ppc64le",
+                                         "riscv64", "s390x", ""])
+    def test_weakly_ordered_machines(self, machine):
+        assert not shm_wire_supported(machine)
+
+
+class TestBackpressureFallback:
+    """A full ring that never drains must not wedge the producer."""
+
+    def test_send_batch_gives_up_on_stuck_ring(self, monkeypatch):
+        from repro.parallel import worker as worker_mod
+        from repro.parallel.ipc import DataBatch
+
+        monkeypatch.setattr(worker_mod, "_BACKPRESSURE_YIELDS", 2)
+        monkeypatch.setattr(worker_mod, "_BACKPRESSURE_MAX_WAITS", 3)
+        monkeypatch.setattr(worker_mod, "BACKPRESSURE_WAIT_S", 0.0)
+
+        ring = ShmRing.create(1 << 12)
+        try:
+            while ring.try_push(b"j" * 1000):
+                pass
+            while ring.try_push(b"j"):
+                pass  # dead-consumer ring: brim-full, never drained
+
+            class _Sink:
+                def __init__(self):
+                    self.items = []
+
+                def put(self, item):
+                    self.items.append(item)
+
+            sink = _Sink()
+            stub = type("StubRuntime", (), {})()
+            stub.shard_id = 0
+            stub._rings_out = {1: ring}
+            stub._absorb_rings = lambda: 0
+            stub.out_queues = {1: sink}
+            stub._frames_sent = 0
+            stub._ring_bytes_sent = 0
+            stub._wire_fallbacks = 0
+
+            _src, envelopes = _batch([_event(payload="stuck")])
+            worker_mod._ShardRuntime._send_batch(stub, 1, envelopes)
+
+            assert stub._wire_fallbacks == 1
+            assert stub._frames_sent == 0
+            (fallback,) = sink.items
+            assert isinstance(fallback, DataBatch)
+            assert fallback.envelopes == envelopes
+        finally:
+            ring.destroy()
+
+
 class TestWireConfig:
     def test_default_is_shm(self):
         assert SimulationConfig().wire == "shm"
@@ -269,7 +356,9 @@ class TestWireConfig:
 class TestWireParity:
     """Both wires must commit the identical sequential-golden result."""
 
-    @pytest.mark.parametrize("wire", ["shm", "queue"])
+    @pytest.mark.parametrize("wire", [
+        pytest.param("shm", marks=needs_tso), "queue",
+    ])
     def test_differential_matches_golden(self, wire):
         from repro.parallel import run_differential
 
@@ -277,6 +366,7 @@ class TestWireParity:
         assert result.ok, result.render()
         assert result.wire == wire
 
+    @needs_tso
     def test_shm_run_reports_ring_traffic(self):
         from repro.faults.fuzz import APPS
         from repro.parallel.backend import ParallelSimulation
@@ -300,3 +390,16 @@ class TestWireParity:
         sim = ParallelSimulation.from_builder(build, config)
         sim.run()
         assert sim.wire == "queue"  # no shard pairs, no rings
+
+    def test_non_tso_machine_degrades_to_queue(self, monkeypatch):
+        from repro.faults.fuzz import APPS
+        from repro.parallel import backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "shm_wire_supported", lambda: False)
+        build, end_time = APPS["phold"]
+        config = SimulationConfig(backend="parallel", workers=2,
+                                  end_time=end_time, wire="shm")
+        sim = backend_mod.ParallelSimulation.from_builder(build, config)
+        sim.run()
+        assert sim.wire == "queue"
+        assert sim.wire_stats["frames_sent"] == 0
