@@ -101,6 +101,11 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                         help="exit non-zero unless every parallel shm "
                              "benchmark beats its in-document .queue twin "
                              "by at least RATIO x (same machine, same run)")
+    parser.add_argument("--fastpath-gate", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit non-zero unless every numpy-fastpath "
+                             "benchmark beats its in-document .python twin "
+                             "by at least RATIO x (same machine, same run)")
 
 
 # --------------------------------------------------------------------- #
@@ -172,6 +177,8 @@ def run_parallel(args: argparse.Namespace) -> int:
         argv += ["--gvt-period", str(args.gvt_period)]
     if args.wire:
         argv += ["--wire", args.wire]
+    if args.fastpath:
+        argv += ["--fastpath", args.fastpath]
     return validate_main(argv)
 
 
@@ -179,6 +186,7 @@ def run_perf(args: argparse.Namespace) -> int:
     from .perf.report import (
         DEFAULT_OUTPUT,
         compare_documents,
+        fastpath_gate,
         load_document,
         make_document,
         render_document,
@@ -221,6 +229,12 @@ def run_perf(args: argparse.Namespace) -> int:
         raise SystemExit("--fail-on-regress requires --compare BASELINE.json")
     if args.wire_gate is not None:
         gate = wire_gate(document, min_speedup=args.wire_gate)
+        print()
+        print(gate.render())
+        if not gate.ok:
+            failed = True
+    if args.fastpath_gate is not None:
+        gate = fastpath_gate(document, min_speedup=args.fastpath_gate)
         print()
         print(gate.render())
         if not gate.ok:
@@ -357,6 +371,10 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--wire", default=None, choices=("shm", "queue"),
                           help="inter-shard data wire (default: shm); the "
                                "CI parity matrix runs both")
+    parallel.add_argument("--fastpath", default=None,
+                          choices=("python", "numpy"),
+                          help="hot-core pin (default: numpy when "
+                               "available); the CI parity leg runs both")
     parallel.set_defaults(runner=run_parallel)
     ablate = subparsers.add_parser(
         "ablate",

@@ -82,6 +82,9 @@ def make_document(
             # the inter-shard data path; null for modelled benchmarks,
             # which have no wire at all
             "wire": bench.wire,
+            # the hot core the workload pins ("python"/"numpy"); null
+            # for workloads that trust the config default
+            "fastpath": bench.fastpath,
             "worker_timeline": [[int(at), int(n)] for at, n in timeline],
             "ops": measurement.ops,
             "rate_per_s": round(measurement.rate_per_s, 3),
@@ -258,8 +261,11 @@ def _render_cfg(
     backend: str,
     timeline: tuple[tuple[int, int], ...],
     wire: str | None = None,
+    fastpath: str | None = None,
 ) -> str:
     prefix = backend if wire is None else f"{backend}({wire})"
+    if fastpath is not None:
+        prefix += f"+{fastpath}"
     if len(timeline) == 1:
         return f"{prefix}/{timeline[0][1]}w"
     return prefix + "/" + "->".join(f"{n}w@{at}" for at, n in timeline)
@@ -294,16 +300,19 @@ def compare_documents(
         # backend/workers/worker_timeline were emitted).
         base_cfg = (base_entry.get("backend", "modelled"),
                     base_entry.get("wire"),
+                    base_entry.get("fastpath"),
                     _worker_timeline(base_entry))
         current_cfg = (current_entry.get("backend", "modelled"),
                        current_entry.get("wire"),
+                       current_entry.get("fastpath"),
                        _worker_timeline(current_entry))
         if base_cfg != current_cfg:
             report.incomparable.append((
                 name,
-                f"backend/wire/workers changed: "
-                f"{_render_cfg(base_cfg[0], base_cfg[2], base_cfg[1])} -> "
-                f"{_render_cfg(current_cfg[0], current_cfg[2], current_cfg[1])}",
+                f"backend/wire/fastpath/workers changed: "
+                f"{_render_cfg(base_cfg[0], base_cfg[3], base_cfg[1], base_cfg[2])}"
+                f" -> "
+                f"{_render_cfg(current_cfg[0], current_cfg[3], current_cfg[1], current_cfg[2])}",
             ))
             continue
         drift = {
@@ -410,5 +419,94 @@ def wire_gate(document: dict[str, Any], *, min_speedup: float) -> WireGateReport
             name=shm_name,
             shm_rate=shm_entry["rate_per_s"],
             queue_rate=entry["rate_per_s"],
+        ))
+    return report
+
+
+# --------------------------------------------------------------------- #
+# numpy-vs-python fastpath gate
+# --------------------------------------------------------------------- #
+@dataclass
+class FastpathPair:
+    """One numpy-fastpath benchmark paired with its ``.python`` twin."""
+
+    name: str
+    numpy_rate: float
+    python_rate: float
+
+    @property
+    def speedup(self) -> float:
+        if self.python_rate <= 0.0:
+            return 0.0
+        return self.numpy_rate / self.python_rate
+
+
+@dataclass
+class FastpathGateReport:
+    """Outcome of the in-document numpy-vs-python fast-path gate.
+
+    Same shape as :class:`WireGateReport`: both sides come from the same
+    document — same machine, same run — so the ratio is an honest
+    apples-to-apples measurement.  The gate fails when any pair's
+    speedup falls below ``min_speedup``, when a ``.python`` twin has no
+    numpy counterpart, or when the document contains no pairs at all.
+    """
+
+    min_speedup: float
+    pairs: list[FastpathPair] = field(default_factory=list)
+    #: ``.python`` twins whose numpy counterpart is missing
+    unpaired: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[FastpathPair]:
+        return [p for p in self.pairs if p.speedup < self.min_speedup]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.pairs) and not self.failures and not self.unpaired
+
+    def render(self) -> str:
+        rows = [
+            f"fastpath gate (numpy >= {self.min_speedup:g}x python, "
+            f"in-document):"
+        ]
+        for pair in self.pairs:
+            marker = "" if pair.speedup >= self.min_speedup else "  << BELOW FLOOR"
+            rows.append(
+                f"  {pair.name}: {pair.speedup:.2f}x "
+                f"({pair.numpy_rate:,.0f} numpy vs {pair.python_rate:,.0f} "
+                f"python events/s){marker}"
+            )
+        for name in self.unpaired:
+            rows.append(f"  {name}: python twin without a numpy counterpart")
+        if not self.pairs:
+            rows.append("  no numpy/python twin pairs in document")
+        rows.append(f"fastpath gate: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(rows)
+
+
+def fastpath_gate(
+    document: dict[str, Any], *, min_speedup: float
+) -> FastpathGateReport:
+    """Gate the numpy hot core's measured speedup over the python path.
+
+    Pairs every ``<name>.python`` entry (fastpath="python") with its
+    ``<name>`` twin (fastpath="numpy") in the same document and requires
+    ``numpy_rate / python_rate >= min_speedup`` for each.
+    """
+    report = FastpathGateReport(min_speedup=min_speedup)
+    benchmarks = document["benchmarks"]
+    for name, entry in sorted(benchmarks.items()):
+        if entry.get("fastpath") != "python" or not name.endswith(".python"):
+            continue
+        numpy_name = name[: -len(".python")]
+        numpy_entry = benchmarks.get(numpy_name)
+        if numpy_entry is None or numpy_entry.get("fastpath") != "numpy":
+            report.unpaired.append(name)
+            continue
+        report.pairs.append(FastpathPair(
+            name=numpy_name,
+            numpy_rate=numpy_entry["rate_per_s"],
+            python_rate=entry["rate_per_s"],
         ))
     return report

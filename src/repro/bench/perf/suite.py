@@ -43,6 +43,9 @@ class Benchmark:
     #: inter-shard data wire for parallel benchmarks ("shm"/"queue");
     #: ``None`` for modelled benchmarks, which have no wire
     wire: str | None = None
+    #: hot-core selection the workload pins ("python"/"numpy"); ``None``
+    #: for workloads that trust the config default
+    fastpath: str | None = None
 
     def run(self, *, quick: bool = False, reps: int = 3, warmup: int = 1) -> Measurement:
         return measure(self.make(quick), reps=reps, warmup=warmup)
@@ -52,7 +55,8 @@ REGISTRY: dict[str, Benchmark] = {}
 
 
 def benchmark(name: str, kind: str, unit: str, *, backend: str = "modelled",
-              workers: int = 1, wire: str | None = None):
+              workers: int = 1, wire: str | None = None,
+              fastpath: str | None = None):
     """Register ``fn(quick) -> Workload`` under ``name``."""
 
     def register(fn: Callable[[bool], Workload]):
@@ -60,7 +64,7 @@ def benchmark(name: str, kind: str, unit: str, *, backend: str = "modelled",
             raise ValueError(f"duplicate benchmark name {name!r}")
         REGISTRY[name] = Benchmark(
             name=name, kind=kind, unit=unit, make=fn,
-            backend=backend, workers=workers, wire=wire,
+            backend=backend, workers=workers, wire=wire, fastpath=fastpath,
         )
         return fn
 
@@ -181,6 +185,52 @@ def _snapshot_copy(quick: bool) -> Workload:
 @benchmark("snapshot.pickle", "micro", "ops")
 def _snapshot_pickle(quick: bool) -> Workload:
     return _snapshot_workload("pickle", quick)
+
+
+@dataclass
+class _ArrayBenchState(RecordState):
+    """Ndarray-backed model state for the block-copy snapshot strategy.
+
+    Falls back to plain lists when numpy is absent so the benchmark still
+    runs (measuring the strategy's python fallback, honestly labelled by
+    the ``have_numpy`` counter).
+    """
+
+    counter: int = 0
+    table: Any = None
+    shards: Any = None
+
+
+@benchmark("snapshot.array", "micro", "ops")
+def _snapshot_array(quick: bool) -> Workload:
+    """The 'array' strategy on ndarray-heavy state: block ndarray.copy()
+    instead of element-wise container walks."""
+    from ...kernel.arena import HAVE_NUMPY
+    from ...kernel.state import resolve_snapshot_strategy
+
+    if HAVE_NUMPY:
+        import numpy as np
+
+        table = np.arange(4_096, dtype="<f8")
+        shards = [np.zeros(512, dtype="<i8") for _ in range(4)]
+    else:  # degraded: the strategy falls back to RecordState.copy()
+        table = list(range(4_096))
+        shards = [[0] * 512 for _ in range(4)]
+    state = _ArrayBenchState(counter=7, table=table, shards=shards)
+    strategy = resolve_snapshot_strategy("array")
+    iterations = 200 if quick else 1_000
+
+    def run() -> tuple[int, dict[str, Any]]:
+        restored = state
+        for _ in range(iterations):
+            snap = strategy.snapshot(state)
+            restored = strategy.snapshot(snap)
+        ok = restored.counter == state.counter
+        return 2 * iterations, {
+            "equal_roundtrip": ok, "have_numpy": HAVE_NUMPY,
+        }
+
+    return run
 
 
 # --------------------------------------------------------------------- #
@@ -335,9 +385,7 @@ def _macro_counters(stats) -> dict[str, Any]:
     }
 
 
-@benchmark("macro.phold", "macro", "events")
-def _macro_phold(quick: bool) -> Workload:
-    """PHOLD under LVT skew: the rollback-heavy reference macro load."""
+def _macro_phold_workload(quick: bool, fastpath: str) -> Workload:
     from ...apps.phold import PHOLDParams, build_phold
     from ...kernel.config import SimulationConfig
     from ...kernel.kernel import TimeWarpSimulation
@@ -347,7 +395,8 @@ def _macro_phold(quick: bool) -> Workload:
 
     def run() -> tuple[int, dict[str, Any]]:
         config = SimulationConfig(
-            end_time=end_time, lp_speed_factors={1: 1.3, 2: 1.6, 3: 2.0}
+            end_time=end_time, lp_speed_factors={1: 1.3, 2: 1.6, 3: 2.0},
+            fastpath=fastpath,
         )
         stats = TimeWarpSimulation(build_phold(params), config).run()
         return stats.committed_events, _macro_counters(stats)
@@ -355,9 +404,7 @@ def _macro_phold(quick: bool) -> Workload:
     return run
 
 
-@benchmark("macro.smmp", "macro", "events")
-def _macro_smmp(quick: bool) -> Workload:
-    """SMMP: communication-heavy, lazy-cancellation-friendly."""
+def _macro_smmp_workload(quick: bool, fastpath: str) -> Workload:
     from ...apps.smmp import SMMPParams, build_smmp
     from ...bench.harness import SMMP_PROFILE
     from ...kernel.kernel import TimeWarpSimulation
@@ -365,16 +412,14 @@ def _macro_smmp(quick: bool) -> Workload:
     params = SMMPParams(requests_per_processor=40 if quick else 160)
 
     def run() -> tuple[int, dict[str, Any]]:
-        config = SMMP_PROFILE.config(seed=0)
+        config = SMMP_PROFILE.config(seed=0, fastpath=fastpath)
         stats = TimeWarpSimulation(build_smmp(params), config).run()
         return stats.committed_events, _macro_counters(stats)
 
     return run
 
 
-@benchmark("macro.raid", "macro", "events")
-def _macro_raid(quick: bool) -> Workload:
-    """RAID: heterogeneous grains (sources, forks, disks)."""
+def _macro_raid_workload(quick: bool, fastpath: str) -> Workload:
     from ...apps.raid import RAIDParams, build_raid
     from ...bench.harness import RAID_PROFILE
     from ...kernel.kernel import TimeWarpSimulation
@@ -382,11 +427,53 @@ def _macro_raid(quick: bool) -> Workload:
     params = RAIDParams(requests_per_source=25 if quick else 100)
 
     def run() -> tuple[int, dict[str, Any]]:
-        config = RAID_PROFILE.config(seed=0)
+        config = RAID_PROFILE.config(seed=0, fastpath=fastpath)
         stats = TimeWarpSimulation(build_raid(params), config).run()
         return stats.committed_events, _macro_counters(stats)
 
     return run
+
+
+# The macro mains pin fastpath="numpy" (silently degrading to python on
+# interpreters without numpy); the ``.python`` twins pin the boxed-heap
+# path so the SoA hot core's speedup is measured in-document on the same
+# machine (report.fastpath_gate, the CI floor — same pattern as the
+# parallel ``.queue`` wire twins).
+
+@benchmark("macro.phold", "macro", "events", fastpath="numpy")
+def _macro_phold(quick: bool) -> Workload:
+    """PHOLD under LVT skew: the rollback-heavy reference macro load."""
+    return _macro_phold_workload(quick, "numpy")
+
+
+@benchmark("macro.phold.python", "macro", "events", fastpath="python")
+def _macro_phold_python(quick: bool) -> Workload:
+    """Boxed-heap twin of macro.phold: the SoA fast-path denominator."""
+    return _macro_phold_workload(quick, "python")
+
+
+@benchmark("macro.smmp", "macro", "events", fastpath="numpy")
+def _macro_smmp(quick: bool) -> Workload:
+    """SMMP: communication-heavy, lazy-cancellation-friendly."""
+    return _macro_smmp_workload(quick, "numpy")
+
+
+@benchmark("macro.smmp.python", "macro", "events", fastpath="python")
+def _macro_smmp_python(quick: bool) -> Workload:
+    """Boxed-heap twin of macro.smmp: the SoA fast-path denominator."""
+    return _macro_smmp_workload(quick, "python")
+
+
+@benchmark("macro.raid", "macro", "events", fastpath="numpy")
+def _macro_raid(quick: bool) -> Workload:
+    """RAID: heterogeneous grains (sources, forks, disks)."""
+    return _macro_raid_workload(quick, "numpy")
+
+
+@benchmark("macro.raid.python", "macro", "events", fastpath="python")
+def _macro_raid_python(quick: bool) -> Workload:
+    """Boxed-heap twin of macro.raid: the SoA fast-path denominator."""
+    return _macro_raid_workload(quick, "python")
 
 
 # --------------------------------------------------------------------- #

@@ -89,6 +89,11 @@ class SnapshotController:
     from thrashing around the break-even point.  Switching mid-run is
     safe because every strategy returns plain, independent state objects
     (:mod:`repro.kernel.state`).
+
+    An explicit ``array`` pin is *held*: the controller never moves off
+    it, because a user who selected the block-copy strategy has asserted
+    the states are ndarray-backed — a size heuristic tuned for python
+    containers has nothing useful to say about those.
     """
 
     #: control period P, in advancing GVT rounds
@@ -101,7 +106,10 @@ class SnapshotController:
 
     def control(self, mean_bytes: float, current: str) -> str:
         """One transfer-function evaluation: state size -> strategy name."""
-        if mean_bytes > self.large_state_bytes:
+        if current == "array":
+            new = current
+            self.last_verdict = "array_pinned"
+        elif mean_bytes > self.large_state_bytes:
             new = "pickle"
             self.last_verdict = "state_large" if current != "pickle" else "dead_zone"
         elif mean_bytes < self.large_state_bytes / 2 and current == "pickle":

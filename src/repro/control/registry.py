@@ -254,20 +254,22 @@ register(KnobSpec(
     title="Snapshot strategy",
     parameter="state snapshot strategy",
     target="global",
-    domain="copy | pickle | deepcopy or dynamic (meta)",
+    domain="copy | pickle | deepcopy | array or dynamic (meta)",
     sampled_output="mean live state size across objects (modelled bytes)",
     initial="copy",
-    transfer="hysteresis: > 4096 bytes -> pickle, < 2048 bytes -> copy",
+    transfer="hysteresis: > 4096 bytes -> pickle, < 2048 bytes -> copy; "
+             "an explicit 'array' pin is held (never overridden)",
     period="every 8 advancing GVT rounds",
-    constraint="named strategies only (copy | pickle | deepcopy)",
+    constraint="named strategies only (copy | pickle | deepcopy | array)",
     record_type="ctrl.snapshot",
     config_field="snapshot",
     meta_managed=True,
-    static_values=tuple((n, n) for n in ("copy", "pickle", "deepcopy")),
+    static_values=tuple((n, n) for n in ("copy", "pickle", "deepcopy", "array")),
     check=_check_snapshot,
     make_static=lambda name: str(name),
     doc="How the kernel copies states for checkpoints: 'copy' wins for "
-        "small flat states, 'pickle' for large container-heavy ones "
+        "small flat states, 'pickle' for large container-heavy ones, "
+        "'array' block-copies ndarray-backed record states "
         "(docs/benchmarking.md); the meta-controller switches on the "
         "observed mean state size.",
 ))

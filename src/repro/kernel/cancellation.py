@@ -137,11 +137,16 @@ class ComparisonBuffer:
         if not self._live_lazy:  # common case: nothing owed, skip the scan
             return None
         best: VirtualTime | None = None
+        remaining = self._live_lazy  # stop once every live entry is seen:
+        # resolved tombstones can dominate the heap between expiry sweeps
         for _, _, entry in self._by_key:
             if not entry.resolved and entry.lazy:
                 t = entry.record.event.recv_time
                 if best is None or t < best:
                     best = t
+                remaining -= 1
+                if not remaining:
+                    break
         return best
 
     def __len__(self) -> int:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from ..cluster.costmodel import DEFAULT_COSTS, DEFAULT_NETWORK, CostModel, NetworkModel
+from .arena import FASTPATHS
 from .cancellation import CancellationPolicy, StaticCancellation, Mode
 from .checkpointing import CheckpointPolicy, StaticCheckpoint
 from .errors import ConfigurationError
@@ -129,6 +130,16 @@ class SimulationConfig:
     #: wire commit byte-identical results; "shm" degrades to "queue" at
     #: run time if shared memory cannot be allocated.
     wire: str = "shm"
+
+    #: hot-loop implementation for the Time Warp kernel: "numpy" backs
+    #: each LP's input queues with a struct-of-arrays
+    #: :class:`repro.kernel.arena.EventArena` (vectorized annihilation,
+    #: GVT local-min scans and tombstone compaction); "python" keeps the
+    #: pure ``heapq`` structures; ``None`` (the default) auto-selects
+    #: "numpy" when numpy is importable.  Both paths commit
+    #: byte-identical results, and "numpy" silently degrades to "python"
+    #: on interpreters without numpy — the same contract as ``wire``.
+    fastpath: "str | None" = None
 
     #: pin each parallel worker to one CPU core via os.sched_setaffinity
     #: (ROOT-Sim style).  Off by default: binding helps when cores >=
@@ -244,6 +255,11 @@ class SimulationConfig:
         if self.wire not in ("shm", "queue"):
             raise ConfigurationError(
                 f"unknown wire {self.wire!r} (known: 'shm', 'queue')"
+            )
+        if self.fastpath is not None and self.fastpath not in FASTPATHS:
+            raise ConfigurationError(
+                f"unknown fastpath {self.fastpath!r} "
+                "(known: 'python', 'numpy'; None = auto)"
             )
         if self.gvt_algorithm not in ("omniscient", "mattern"):
             raise ConfigurationError(

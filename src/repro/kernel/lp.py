@@ -18,6 +18,7 @@ from ..cluster.costmodel import CostModel
 from ..oracle.invariants import NULL_ORACLE
 from ..stats.counters import LPStats, ObjectStats
 from ..trace.tracer import NULL_TRACER
+from .arena import ArrayInputQueue, EventArena, resolve_fastpath
 from .cancellation import CancellationPolicy, ComparisonBuffer, Mode
 from .checkpointing import MAX_INTERVAL, CheckpointPolicy, CheckpointWindow
 from .errors import (
@@ -101,9 +102,17 @@ class LogicalProcess:
         resolve_name: Callable[[str], int],
         lp_of: Callable[[int], int],
         end_time: VirtualTime = float("inf"),
+        fastpath: str | None = "python",
     ) -> None:
         self.lp_id = lp_id
         self.costs = costs
+        #: resolved hot-loop implementation ("python" or "numpy"); the
+        #: arena is the LP-wide struct-of-arrays future-event store backing
+        #: every member's :class:`ArrayInputQueue` on the numpy path
+        self.fastpath = resolve_fastpath(fastpath)
+        self.arena: EventArena | None = (
+            EventArena() if self.fastpath == "numpy" else None
+        )
         self.clock: float = 0.0
         self.end_time = end_time
         self._resolve_name = resolve_name
@@ -144,6 +153,8 @@ class LogicalProcess:
         ckpt_policy: CheckpointPolicy,
     ) -> ObjectContext:
         ctx = ObjectContext(obj=obj, oid=oid)
+        if self.arena is not None:
+            ctx.iq = ArrayInputQueue(self.arena)
         ctx.cancel_policy = cancel_policy
         ctx.ckpt_policy = ckpt_policy
         ctx.mode = cancel_policy.initial_mode()
@@ -574,6 +585,23 @@ class LogicalProcess:
     def local_min(self) -> VirtualTime:
         """Lower bound on any virtual time this LP can still affect."""
         best = float("inf")
+        arena = self.arena
+        if arena is not None:
+            # One vectorized scan of the arena's time column covers every
+            # member's unprocessed events at once (the per-member heap
+            # peeks below would each skip tombstones in Python).
+            t = arena.min_alive_time()
+            if t is not None:
+                best = t
+            for ctx in self._member_list:
+                t = ctx.cmp_buffer.min_live_time()
+                if t is not None and t < best:
+                    best = t
+            if self.comm is not None:
+                t = self.comm.min_buffered_time()
+                if t is not None and t < best:
+                    best = t
+            return best
         for ctx in self._member_list:
             t = ctx.iq.min_unprocessed_time()
             if t is not None and t < best:

@@ -33,6 +33,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Any
 
+from .arena import ArrayInputQueue
 from .cancellation import Mode
 from .checkpointing import CheckpointWindow
 from .errors import SchedulingError
@@ -206,6 +207,10 @@ def detach_object(lp: LogicalProcess, oid: int) -> ObjectCheckpoint:
     ckpt = checkpoint_object(ctx)
     del lp.members[oid]
     lp._member_list.remove(ctx)
+    if isinstance(ctx.iq, ArrayInputQueue):
+        # the member's unprocessed events leave with the checkpoint; their
+        # arena rows must die or the LP's local-min scan keeps seeing them
+        ctx.iq.detach()
     ctx.obj._services = None  # sever the stale kernel binding
     return ckpt
 
@@ -242,17 +247,22 @@ def restore_object(lp: LogicalProcess, ckpt: ObjectCheckpoint) -> ObjectContext:
     ctx.current_cause_key = INITIAL_KEY
     ctx.coasting = False
 
+    if lp.arena is not None:
+        ctx.iq = ArrayInputQueue(lp.arena)
     iq = ctx.iq
     for fields in ckpt.processed:
         event = _event_from(fields)
         iq.processed.append(event)
         iq._processed_ids[event.event_id()] = event
-    # key-sorted list == valid binary heap
-    for fields in ckpt.future:
-        event = _event_from(fields)
-        iq._future.append((event.key(), event))
-        iq._future_ids[event.event_id()] = event
-    iq._live_future = len(ckpt.future)
+    if lp.arena is not None:
+        iq.insert_batch([_event_from(fields) for fields in ckpt.future])
+    else:
+        # key-sorted list == valid binary heap
+        for fields in ckpt.future:
+            event = _event_from(fields)
+            iq._future.append((event.key(), event))
+            iq._future_ids[event.event_id()] = event
+        iq._live_future = len(ckpt.future)
     for fields in ckpt.pending_antis:
         anti = _event_from(fields)
         iq._pending_antis[anti.event_id()] = anti

@@ -16,6 +16,15 @@ from .errors import StateHistoryError, TimeWarpError
 from .event import Event, EventId, EventKey, SentRecord, VirtualTime
 from .state import SavedState
 
+#: Tombstones tolerated before the future heap is compacted.  Lazy
+#: deletion only discards dead entries when they surface at the heap top;
+#: under a rollback storm that annihilates deep in the future the heap
+#: would otherwise grow without bound (dead entries below the top are
+#: never popped), so once tombstones outnumber live entries — and there
+#: are enough of them to amortize the O(n) rebuild — the heap is filtered
+#: and re-heapified in place.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class InputQueue:
     """Pending and processed events of one simulation object.
@@ -91,12 +100,41 @@ class InputQueue:
             del self._future_ids[eid]
             self._tombstones.add(eid)
             self._live_future -= 1
+            if (
+                len(self._tombstones) >= _COMPACT_MIN_TOMBSTONES
+                and len(self._tombstones) > self._live_future
+            ):
+                self._compact()
             return None
         processed = self.find_processed(eid)
         if processed is not None:
             return processed
         self._pending_antis[eid] = anti
         return None
+
+    def _compact(self) -> None:
+        """Drop dead heap entries everywhere, not just at the top.
+
+        Keeps exactly the entries :meth:`_skip_tombstones` would ever
+        yield (the ``eid in _future_ids`` guard protects a live event
+        re-inserted after an earlier copy was annihilated), then
+        re-heapifies.  Keys are unique per event, so the pop order is
+        unchanged.  Tombstones whose entries were dropped are discarded,
+        mirroring the incremental discard at the heap top.
+        """
+        tombstones = self._tombstones
+        future_ids = self._future_ids
+        keep: list[tuple[EventKey, Event]] = []
+        for entry in self._future:
+            eid = entry[1].event_id()
+            if eid in tombstones and eid not in future_ids:
+                continue
+            keep.append(entry)
+        heapq.heapify(keep)
+        self._future = keep
+        tombstones.intersection_update(
+            {entry[1].event_id() for entry in keep}
+        )
 
     # ------------------------------------------------------------------ #
     # scheduling

@@ -47,6 +47,12 @@ Frame layout (all little-endian)::
       send_times n*f64
       recv_times n*f64
       payloads   n * (u8 tag + body)       -- see _TAG_* below
+
+The block order and dtypes are :data:`repro.kernel.arena.SOA_LAYOUT` —
+the same struct-of-arrays layout the :class:`~repro.kernel.arena.EventArena`
+stores — so a decoded envelope's columns can land in an arena
+(:func:`decode_batch_soa` + ``EventArena.insert_columns``) as six block
+copies, without boxing each row into an :class:`Event` first.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ import pickle
 import struct
 
 from ..comm.message import MessageKind, PhysicalMessage
+from ..kernel.arena import SOA_LAYOUT
 from ..kernel.event import Event
 from .ipc import DataBatch, Envelope
 
@@ -241,12 +248,9 @@ def encode_batch(src_shard: int, envelopes: tuple[Envelope, ...]) -> bytes:
             signs.append(event.sign)
             send_times.append(event.send_time)
             recv_times.append(event.recv_time)
-        parts.append(_pack_block(senders, "I", "<u4"))
-        parts.append(_pack_block(receivers, "I", "<u4"))
-        parts.append(_pack_block(serials, "Q", "<u8"))
-        parts.append(_pack_block(signs, "b", "<i1"))
-        parts.append(_pack_block(send_times, "d", "<f8"))
-        parts.append(_pack_block(recv_times, "d", "<f8"))
+        columns = (senders, receivers, serials, signs, send_times, recv_times)
+        for values, (_attr, fmt, np_dtype, _width) in zip(columns, SOA_LAYOUT):
+            parts.append(_pack_block(values, fmt, np_dtype))
         for event in events:
             _encode_payload(event.payload, parts)
     return b"".join(parts)
@@ -268,12 +272,11 @@ def decode_batch(frame) -> DataBatch:
     for _ in range(n_envelopes):
         stamp, src_lp, dst_lp, n = _ENVELOPE.unpack_from(frame, offset)
         offset += _ENVELOPE.size
-        senders, offset = _unpack_block(frame, offset, n, "I", "<u4", 4)
-        receivers, offset = _unpack_block(frame, offset, n, "I", "<u4", 4)
-        serials, offset = _unpack_block(frame, offset, n, "Q", "<u8", 8)
-        signs, offset = _unpack_block(frame, offset, n, "b", "<i1", 1)
-        send_times, offset = _unpack_block(frame, offset, n, "d", "<f8", 8)
-        recv_times, offset = _unpack_block(frame, offset, n, "d", "<f8", 8)
+        blocks = []
+        for _attr, fmt, np_dtype, width in SOA_LAYOUT:
+            block, offset = _unpack_block(frame, offset, n, fmt, np_dtype, width)
+            blocks.append(block)
+        senders, receivers, serials, signs, send_times, recv_times = blocks
         events = []
         for i in range(n):
             payload, offset = _decode_payload(frame, offset)
@@ -293,3 +296,46 @@ def decode_batch(frame) -> DataBatch:
             events=tuple(events),
         )))
     return DataBatch(src_shard, tuple(envelopes))
+
+
+def decode_batch_soa(frame):
+    """Decode a frame into struct-of-arrays columns, without boxing Events.
+
+    Returns ``(src_shard, envelopes)`` where each envelope is
+    ``(stamp, src_lp, dst_lp, columns, payloads)`` and ``columns`` holds
+    the six :data:`~repro.kernel.arena.SOA_LAYOUT` blocks — numpy arrays
+    of the layout dtypes when numpy is available (zero-copy views over
+    the frame buffer), plain tuples otherwise.  The columns feed
+    ``EventArena.insert_columns`` directly: six block copies per
+    envelope, with Event handles materialized lazily only for rows the
+    scheduler actually touches.
+    """
+    magic, version, kind, src_shard, n_envelopes = _HEADER.unpack_from(frame, 0)
+    if magic != _MAGIC:
+        raise WireFormatError(f"bad frame magic 0x{magic:04x}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version {version} not supported (speaking {WIRE_VERSION})"
+        )
+    if kind != _FRAME_DATA_BATCH:
+        raise WireFormatError(f"unknown frame kind {kind}")
+    offset = _HEADER.size
+    envelopes = []
+    for _ in range(n_envelopes):
+        stamp, src_lp, dst_lp, n = _ENVELOPE.unpack_from(frame, offset)
+        offset += _ENVELOPE.size
+        columns = []
+        for _attr, fmt, np_dtype, width in SOA_LAYOUT:
+            if _np is not None:
+                column = _np.frombuffer(frame, dtype=np_dtype, count=n,
+                                        offset=offset)
+            else:
+                column = struct.unpack_from(f"<{n}{fmt}", frame, offset)
+            columns.append(column)
+            offset += n * width
+        payloads = []
+        for _ in range(n):
+            payload, offset = _decode_payload(frame, offset)
+            payloads.append(payload)
+        envelopes.append((stamp, src_lp, dst_lp, tuple(columns), payloads))
+    return src_shard, envelopes

@@ -36,6 +36,7 @@ from typing import Any
 from ..comm.message import MessageKind
 from ..comm.transport import CommModule
 from ..gvt.mattern import ColourAgent
+from ..kernel.arena import resolve_fastpath
 from ..kernel.config import SimulationConfig
 from ..kernel.errors import ConfigurationError, SchedulingError, TerminationError
 from ..kernel.lp import LogicalProcess
@@ -167,6 +168,9 @@ class _ShardRuntime:
             resolve_name=self._resolve,
             lp_of=plan.oid_to_shard.__getitem__,
             end_time=config.end_time,
+            # resolved per worker: a heterogeneous fleet (some interpreters
+            # without numpy) still commits byte-identical results
+            fastpath=resolve_fastpath(config.fastpath),
         )
         self.lp = lp
         if plan.trace_dir is not None:

@@ -16,7 +16,9 @@ The knob fields mirror the paper's configuration space:
 * ``checkpoint`` — a static chi in [1, 256] or ``"dynamic"``;
 * ``aggregation`` — ``none`` / ``fixed`` (FAW) / ``saaw``, with
   ``aggregation_window`` as the initial window;
-* ``snapshot`` — ``copy`` / ``pickle`` / ``deepcopy``;
+* ``snapshot`` — ``copy`` / ``pickle`` / ``deepcopy`` / ``array``;
+* ``fastpath`` — ``python`` / ``numpy`` hot-core selection (unset =
+  config default, i.e. numpy when available);
 * ``gvt_algorithm`` — ``omniscient`` / ``mattern``;
 * ``time_window`` — ``none`` / ``adaptive``;
 * ``meta_control`` — ``off`` / ``on``: the unified MetaController over
@@ -50,6 +52,7 @@ from ..core.cancellation_controller import (
 from ..core.checkpoint_controller import DynamicCheckpoint
 from ..core.window_controller import AdaptiveTimeWindow
 from ..faults.plan import FaultPlan
+from ..kernel.arena import FASTPATHS
 from ..kernel.cancellation import Mode, StaticCancellation
 from ..kernel.checkpointing import MAX_INTERVAL, StaticCheckpoint
 from ..kernel.config import SimulationConfig, validate_churn_plan
@@ -60,7 +63,7 @@ SCHEMA_SCENARIO = "repro-verify-scenario-1"
 #: cancellation variants, in the paper's vocabulary
 CANCELLATION_VARIANTS = ("aggressive", "lazy", "dynamic", "st", "ps32", "pa10")
 AGGREGATION_VARIANTS = ("none", "fixed", "saaw")
-SNAPSHOT_VARIANTS = ("copy", "pickle", "deepcopy")
+SNAPSHOT_VARIANTS = ("copy", "pickle", "deepcopy", "array")
 GVT_VARIANTS = ("omniscient", "mattern")
 TIME_WINDOW_VARIANTS = ("none", "adaptive")
 METACONTROL_VARIANTS = ("off", "on")
@@ -208,6 +211,11 @@ class Scenario:
     #: ``None`` means the config default, and is omitted from the JSON
     #: form so pre-wire corpus entries keep their scenario ids.
     wire: str | None = None
+    #: hot-core selection ("python" / "numpy"; Time Warp backends only).
+    #: ``None`` means the config default (numpy when available, silently
+    #: degrading to python), and is omitted from the JSON form so
+    #: pre-fastpath corpus entries keep their scenario ids.
+    fastpath: str | None = None
 
     cancellation: str = "aggressive"
     #: static chi in [1, MAX_INTERVAL] or "dynamic"
@@ -262,6 +270,17 @@ class Scenario:
                 raise ConfigurationError(
                     "wire selects the inter-shard data path, which only "
                     "the parallel backend has; leave it unset"
+                )
+        if self.fastpath is not None:
+            if self.fastpath not in FASTPATHS:
+                raise ConfigurationError(
+                    f"unknown fastpath {self.fastpath!r} "
+                    f"(known: {FASTPATHS})"
+                )
+            if self.backend == "conservative":
+                raise ConfigurationError(
+                    "fastpath selects the Time Warp hot core, which the "
+                    "conservative kernel does not have; leave it unset"
                 )
         if self.cancellation not in CANCELLATION_VARIANTS:
             raise ConfigurationError(
@@ -413,6 +432,8 @@ class Scenario:
         )
         if self.wire is not None:
             kwargs["wire"] = self.wire
+        if self.fastpath is not None:
+            kwargs["fastpath"] = self.fastpath
         if self.time_window == "adaptive":
             kwargs["time_window"] = lambda: AdaptiveTimeWindow()
         if self.meta_control == "on":
@@ -429,8 +450,9 @@ class Scenario:
             value = getattr(self, f.name)
             if f.name == "end_time" and value == float("inf"):
                 value = None  # JSON has no Infinity; None means app default
-            if f.name in ("churn", "wire") and value is None:
-                continue  # keep pre-churn/pre-wire corpus ids byte-stable
+            if f.name in ("churn", "wire", "fastpath") and value is None:
+                # keep pre-churn/pre-wire/pre-fastpath corpus ids stable
+                continue
             doc[f.name] = value
         return doc
 

@@ -98,6 +98,36 @@ class TestAnnihilation:
         q.insert_anti(first.anti_message())
         assert q.peek_next() == second
 
+    def test_heap_stays_bounded_under_annihilation_churn(self):
+        # Regression: tombstoned heap entries used to linger until a pop
+        # walked past them, so a workload that annihilates far-future
+        # events it never schedules grew the heap without bound.  The
+        # compaction pass must keep the heap proportional to live events.
+        q = InputQueue()
+        keeper = make_event(recv_time=0.5, serial=10**6)
+        q.insert_positive(keeper)
+        for i in range(2_000):
+            event = make_event(recv_time=1000.0 + i, serial=i)
+            q.insert_positive(event)
+            q.insert_anti(event.anti_message())
+        assert q.future_count() == 1
+        assert len(q._future) < 200  # bounded, not ~2000 tombstones
+        assert len(q._tombstones) < 200
+        assert q.pop_next() == keeper
+
+    def test_compaction_keeps_tombstones_for_unpopped_entries(self):
+        # a tombstone whose heap entry survives compaction must survive
+        # with it, or the stale entry would later pop as a live event
+        q = InputQueue()
+        events = [make_event(recv_time=float(i), serial=i) for i in range(70)]
+        for e in events:
+            q.insert_positive(e)
+        for e in events[:65]:  # tombstone most, crossing the threshold
+            q.insert_anti(e.anti_message())
+        assert q.future_count() == 5
+        assert [q.pop_next() for _ in range(5)] == events[65:]
+        assert not q.has_future()
+
 
 class TestInputQueueRollback:
     def test_rollback_moves_events_back(self):

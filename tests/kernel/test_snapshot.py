@@ -47,8 +47,30 @@ class TestStrategies:
             assert cls.name == name
 
     def test_registry_contents(self):
-        assert set(SNAPSHOT_STRATEGIES) == {"copy", "pickle", "deepcopy"}
+        assert set(SNAPSHOT_STRATEGIES) == {"copy", "pickle", "deepcopy", "array"}
         assert isinstance(COPY_SNAPSHOT, CopySnapshot)
+
+    def test_array_strategy_block_copies_ndarrays(self):
+        numpy = pytest.importorskip("numpy")
+
+        @dataclass
+        class _SoA(RecordState):
+            values: object = None
+            blocks: list = field(default_factory=list)
+            scalar: int = 0
+
+        original = _SoA(
+            values=numpy.arange(16, dtype="<f8"),
+            blocks=[numpy.zeros(4, dtype="<u4"), numpy.ones(4, dtype="<u4")],
+            scalar=7,
+        )
+        snap = resolve_snapshot_strategy("array").snapshot(original)
+        assert snap is not original
+        assert numpy.array_equal(snap.values, original.values)
+        snap.values[0] = 99.0
+        snap.blocks[0][0] = 42
+        assert original.values[0] == 0.0  # deep, private copies
+        assert original.blocks[0][0] == 0
 
 
 class TestResolve:
